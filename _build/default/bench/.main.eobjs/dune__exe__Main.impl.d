@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Figures List Micro Option Printf Sys Util

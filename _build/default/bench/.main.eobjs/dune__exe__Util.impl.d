@@ -1,0 +1,1 @@
+bench/util.ml: Float Printf String Unix

@@ -1,0 +1,47 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (default), runs the Bechamel kernel micro-benchmarks (--micro), and the
+   design-choice ablations (--ablate).
+
+     dune exec bench/main.exe                 # all figures
+     dune exec bench/main.exe -- --only fig11 # one figure
+     dune exec bench/main.exe -- --micro      # kernel timings
+     dune exec bench/main.exe -- --ablate     # ablation studies
+     dune exec bench/main.exe -- --all        # everything *)
+
+let usage () =
+  print_endline "usage: main.exe [--only figN] [--micro] [--ablate] [--all] [--list]";
+  print_endline "figures:";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Figures.all
+
+let run_figures only =
+  let chosen =
+    match only with
+    | None -> Figures.all
+    | Some name -> List.filter (fun (n, _) -> n = name) Figures.all
+  in
+  if chosen = [] then begin
+    Printf.eprintf "unknown figure %s\n" (Option.value only ~default:"");
+    usage ();
+    exit 1
+  end;
+  List.iter
+    (fun (name, f) ->
+      let (), dt = Util.time_it f in
+      Printf.printf "# [%s completed in %.1f s]\n%!" name dt)
+    chosen
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> run_figures None
+  | [ "--list" ] -> usage ()
+  | [ "--only"; name ] -> run_figures (Some name)
+  | [ "--micro" ] -> Micro.run ()
+  | [ "--ablate" ] -> Ablate.all ()
+  | [ "--all" ] ->
+      run_figures None;
+      Ablate.all ();
+      Micro.run ()
+  | _ ->
+      usage ();
+      exit 1

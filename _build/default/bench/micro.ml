@@ -1,0 +1,64 @@
+(* Bechamel micro-benchmarks of the computational kernels behind the cost
+   comparison of paper Section III-C: factorisations, solves, SVD, and the
+   end-to-end reduction algorithms (TBR's O(n^3) vs PMTBR's q factorisations
+   plus one SVD). *)
+
+open Bechamel
+open Toolkit
+open Pmtbr_la
+open Pmtbr_lti
+open Pmtbr_core
+
+let dense_matrix n =
+  Mat.add (Mat.random ~seed:3 n n) (Mat.scale (float_of_int n) (Mat.identity n))
+
+let mesh_sys rows cols ports = Dss.of_netlist (Pmtbr_circuit.Rc_mesh.generate ~rows ~cols ~ports ())
+
+let substrate_pencil n =
+  let nl = Pmtbr_circuit.Substrate.generate ~ports:n ~seed:5 () in
+  let m = Pmtbr_circuit.Mna.stamp nl in
+  Pmtbr_sparse.Shifted.pencil ~e:m.Pmtbr_circuit.Mna.e ~a:m.Pmtbr_circuit.Mna.a
+
+let tests () =
+  let a120 = dense_matrix 120 in
+  let tall = Mat.random ~seed:7 300 60 in
+  let sym120 = Mat.symmetrize (Mat.random ~seed:9 120 120) in
+  let pencil300 = substrate_pencil 300 in
+  let s_sample = { Complex.re = 0.0; im = Pmtbr_circuit.Substrate.corner_frequency () } in
+  let mesh = mesh_sys 12 12 4 in
+  let w_max = 1e10 in
+  [
+    Test.make ~name:"dense_lu_120" (Staged.stage (fun () -> ignore (Mat.lu a120)));
+    Test.make ~name:"svd_300x60" (Staged.stage (fun () -> ignore (Svd.decompose tall)));
+    Test.make ~name:"jacobi_eig_120" (Staged.stage (fun () -> ignore (Eig_sym.decompose sym120)));
+    Test.make ~name:"sparse_complex_lu_substrate300"
+      (Staged.stage (fun () -> ignore (Pmtbr_sparse.Shifted.factorize pencil300 s_sample)));
+    Test.make ~name:"pmtbr_mesh144_20pts"
+      (Staged.stage (fun () -> ignore (Pmtbr.reduce_uniform ~order:12 mesh ~w_max ~count:20)));
+    Test.make ~name:"tbr_mesh144"
+      (Staged.stage (fun () -> ignore (Tbr.reduce_dss ~order:12 mesh)));
+    Test.make ~name:"prima_mesh144_3moments"
+      (Staged.stage (fun () -> ignore (Prima.reduce mesh ~s0:(w_max /. 10.0) ~moments:3)));
+  ]
+
+let run () =
+  print_endline "\n== MICRO: kernel and algorithm timings (Bechamel) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:None () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some (t :: _) -> t
+            | Some [] | None -> Float.nan
+          in
+          Printf.printf "%-36s %12.3f ms/run\n%!" (Test.Elt.name elt) (ns /. 1e6))
+        (Test.elements test))
+    (tests ())

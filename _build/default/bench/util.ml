@@ -1,0 +1,18 @@
+(* Output helpers shared by the figure-regeneration benches. *)
+
+let header fig title =
+  Printf.printf "\n== %s: %s ==\n%!" fig title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "# %s\n" s) fmt
+
+let row cells = print_endline (String.concat "\t" cells)
+
+let ghz omega = omega /. (2.0 *. Float.pi *. 1e9)
+
+let fmt_g x = Printf.sprintf "%.4g" x
+let fmt_e x = Printf.sprintf "%.3e" x
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)

@@ -1,0 +1,335 @@
+(* Command-line driver: generate the bundled circuit models, reduce them
+   with any of the implemented algorithms, and inspect the results.
+
+     pmtbr info    --circuit spiral
+     pmtbr hsv     --circuit clock-tree --samples 50
+     pmtbr reduce  --circuit connector --method fs-pmtbr --order 18 --band 0:5e10
+     pmtbr sweep   --circuit peec --points 40 *)
+
+open Cmdliner
+open Pmtbr_la
+open Pmtbr_lti
+open Pmtbr_core
+
+(* ------------------------------------------------------------------ *)
+(* Circuit selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type circuit =
+  | Rc_line
+  | Rc_mesh
+  | Clock_tree
+  | Spiral
+  | Peec
+  | Connector
+  | Substrate
+  | Coupled_bus
+  | Tline
+
+let circuit_names =
+  [
+    ("rc-line", Rc_line);
+    ("rc-mesh", Rc_mesh);
+    ("clock-tree", Clock_tree);
+    ("spiral", Spiral);
+    ("peec", Peec);
+    ("connector", Connector);
+    ("substrate", Substrate);
+    ("coupled-bus", Coupled_bus);
+    ("tline", Tline);
+  ]
+
+let build_netlist circuit ~size ~ports ~seed =
+  match circuit with
+  | Rc_line -> Pmtbr_circuit.Rc_line.generate ~sections:(Option.value size ~default:50) ()
+  | Rc_mesh ->
+      let n = Option.value size ~default:12 in
+      Pmtbr_circuit.Rc_mesh.generate ~rows:n ~cols:n ~ports:(Option.value ports ~default:4) ()
+  | Clock_tree -> Pmtbr_circuit.Clock_tree.generate ~levels:(Option.value size ~default:7) ()
+  | Spiral -> Pmtbr_circuit.Spiral.generate ~segments:(Option.value size ~default:16) ()
+  | Peec -> Pmtbr_circuit.Peec.generate ~cells:(Option.value size ~default:10) ()
+  | Connector -> Pmtbr_circuit.Connector.generate ~pins:(Option.value size ~default:18) ()
+  | Substrate ->
+      Pmtbr_circuit.Substrate.generate ~ports:(Option.value ports ~default:150) ~seed ()
+  | Coupled_bus ->
+      Pmtbr_circuit.Coupled_bus.generate ~lines:(Option.value ports ~default:4)
+        ~sections:(Option.value size ~default:20) ()
+  | Tline -> Pmtbr_circuit.Tline.generate ~cells:(Option.value size ~default:30) ()
+
+(* Default sampling bandwidth per circuit (rad/s). *)
+let default_band = function
+  | Rc_line -> 3e9
+  | Rc_mesh -> 2e10
+  | Clock_tree -> Pmtbr_circuit.Clock_tree.bandwidth ()
+  | Spiral -> Pmtbr_circuit.Spiral.sample_band ()
+  | Peec -> Pmtbr_circuit.Peec.sample_band () /. 2.0
+  | Connector -> Pmtbr_circuit.Connector.band_of_interest
+  | Substrate -> 100.0 *. Pmtbr_circuit.Substrate.corner_frequency ()
+  | Coupled_bus -> Pmtbr_circuit.Coupled_bus.bandwidth ()
+  | Tline -> Pmtbr_circuit.Tline.valid_band () /. 2.0
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let circuit_arg =
+  let doc =
+    Printf.sprintf "Circuit model to build (%s)."
+      (String.concat ", " (List.map fst circuit_names))
+  in
+  Arg.(
+    value
+    & opt (some (enum circuit_names)) None
+    & info [ "c"; "circuit" ] ~docv:"CIRCUIT" ~doc)
+
+let spice_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spice" ] ~docv:"FILE" ~doc:"Read the circuit from a SPICE-dialect netlist file.")
+
+(* Resolve the circuit source: a generated model or a SPICE file. *)
+let resolve ~circuit ~spice ~size ~ports ~seed =
+  match (circuit, spice) with
+  | Some c, None -> (build_netlist c ~size ~ports ~seed, Some c)
+  | None, Some path -> (Pmtbr_circuit.Spice.netlist (Pmtbr_circuit.Spice.parse_file path), None)
+  | Some _, Some _ -> failwith "give either --circuit or --spice, not both"
+  | None, None -> failwith "one of --circuit or --spice is required"
+
+let band_of ~circuit ~band ~fallback =
+  match (band, circuit) with
+  | Some (_, hi), _ -> hi
+  | None, Some c -> default_band c
+  | None, None -> fallback
+
+let size_arg =
+  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N" ~doc:"Circuit size parameter.")
+
+let ports_arg =
+  Arg.(value & opt (some int) None & info [ "ports" ] ~docv:"P" ~doc:"Number of ports.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let samples_arg =
+  Arg.(value & opt int 30 & info [ "samples" ] ~docv:"K" ~doc:"Number of frequency samples.")
+
+let band_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ lo; hi ] -> (
+        try Ok (float_of_string lo, float_of_string hi) with Failure _ -> Error (`Msg "bad band"))
+    | _ -> Error (`Msg "expected LO:HI in rad/s")
+  in
+  let print ppf (lo, hi) = Format.fprintf ppf "%g:%g" lo hi in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "band" ] ~docv:"LO:HI" ~doc:"Frequency band in rad/s (default: circuit-specific).")
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_info circuit spice size ports seed =
+  let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
+  let sys = Dss.of_netlist nl in
+  let r, c, l, k = Pmtbr_circuit.Netlist.stats nl in
+  Printf.printf "states:     %d\n" (Dss.order sys);
+  Printf.printf "ports:      %d\n" (Dss.inputs sys);
+  Printf.printf "elements:   %d R, %d C, %d L, %d K\n" r c l k;
+  match source with
+  | Some c ->
+      Printf.printf "default sampling band: %.3e rad/s (%.3f GHz)\n" (default_band c)
+        (default_band c /. (2.0 *. Float.pi *. 1e9))
+  | None -> ()
+
+let info_cmd =
+  let doc = "Print statistics of a circuit model (generated or SPICE)." in
+  Cmd.v (Cmd.info "info" ~doc)
+    Term.(const run_info $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hsv                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_hsv circuit spice size ports seed samples band =
+  let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
+  let sys = Dss.of_netlist nl in
+  let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
+  let pts =
+    match band with
+    | Some (lo, hi) when lo > 0.0 -> Sampling.points (Sampling.Bands [ (lo, hi) ]) ~count:samples
+    | _ -> Sampling.points (Sampling.Uniform { w_max = w_hi }) ~count:samples
+  in
+  (* the estimate-vs-exact comparison is meaningful in the symmetrised
+     coordinates (paper Section III); fall back to the raw descriptor system
+     for non-RC networks, where only the estimate is printed *)
+  let sym = try Some (Dss.symmetrize_rc sys) with Dss.Not_rc_like -> None in
+  let est = Pmtbr.hankel_estimates (Option.value sym ~default:sys) pts in
+  let exact =
+    Option.map
+      (fun ssym ->
+        let a, b, c = Dss.to_standard ssym in
+        Tbr.hankel_singular_values ~a ~b ~c ())
+      sym
+  in
+  (match exact with
+  | Some _ -> print_endline "index\testimate\texact"
+  | None -> print_endline "index\testimate\t(exact skipped: not an RC network)");
+  Array.iteri
+    (fun i e ->
+      if i < 30 then
+        match exact with
+        | Some ex when i < Array.length ex -> Printf.printf "%d\t%.4e\t%.4e\n" i e ex.(i)
+        | Some _ | None -> Printf.printf "%d\t%.4e\n" i e)
+    est
+
+let hsv_cmd =
+  let doc = "Estimate Hankel singular values by frequency sampling." in
+  Cmd.v (Cmd.info "hsv" ~doc)
+    Term.(
+      const run_hsv $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ samples_arg
+      $ band_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reduce                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type meth = M_pmtbr | M_fs | M_prima | M_tbr | M_multipoint | M_cross | M_two_step | M_pod
+
+let method_names =
+  [
+    ("pmtbr", M_pmtbr);
+    ("fs-pmtbr", M_fs);
+    ("prima", M_prima);
+    ("tbr", M_tbr);
+    ("multipoint", M_multipoint);
+    ("cross-gramian", M_cross);
+    ("two-step", M_two_step);
+    ("pod", M_pod);
+  ]
+
+let method_arg =
+  let doc =
+    Printf.sprintf "Reduction method (%s)." (String.concat ", " (List.map fst method_names))
+  in
+  Arg.(value & opt (enum method_names) M_pmtbr & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let order_arg =
+  Arg.(value & opt (some int) None & info [ "order" ] ~docv:"Q" ~doc:"Target reduced order.")
+
+let tol_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tol" ] ~docv:"TOL" ~doc:"Singular-value tail tolerance for order control.")
+
+let run_reduce circuit spice size ports seed meth order tol samples band =
+  let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
+  let sys = Dss.of_netlist nl in
+  let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
+  let pts =
+    match band with
+    | Some (lo, hi) when lo > 0.0 -> Sampling.points (Sampling.Bands [ (lo, hi) ]) ~count:samples
+    | _ -> Sampling.points (Sampling.Uniform { w_max = w_hi }) ~count:samples
+  in
+  let rom =
+    match meth with
+    | M_pmtbr -> (Pmtbr.reduce ?order ?tol sys pts).Pmtbr.rom
+    | M_fs ->
+        let lo, hi = match band with Some b -> b | None -> (0.0, w_hi) in
+        (Freq_selective.reduce ?order ?tol sys
+           ~bands:[ Freq_selective.band ~lo ~hi ]
+           ~count:samples)
+          .Pmtbr.rom
+    | M_prima ->
+        (Prima.reduce_to_order sys ~s0:(w_hi /. 20.0) ~order:(Option.value order ~default:10))
+          .Prima.rom
+    | M_tbr -> (Tbr.reduce_dss ?order ?tol sys).Tbr.rom
+    | M_multipoint ->
+        (Multipoint.reduce sys (Sampling.spread_order pts)
+           ~count:(max 1 (Option.value order ~default:10 / 2)))
+          .Multipoint.rom
+    | M_cross -> (Cross_gramian.reduce ?order sys pts).Cross_gramian.rom
+    | M_two_step ->
+        let q = Option.value order ~default:10 in
+        (Two_step.reduce sys ~s0:(w_hi /. 20.0) ~intermediate:(3 * q) ~order:q ())
+          .Two_step.rom
+    | M_pod ->
+        let rise = 10.0 /. w_hi in
+        let u t =
+          Array.init (Dss.inputs sys) (fun _ -> Float.min 1e-3 (Float.max 0.0 (1e-3 *. t /. rise)))
+        in
+        (Time_sampled.reduce ?order ?tol sys ~u ~t1:(200.0 *. rise) ~dt:rise ~snapshots:150)
+          .Time_sampled.rom
+  in
+  Printf.printf "reduced: %d -> %d states\n" (Dss.order sys) (Dss.order rom);
+  let omegas = Vec.linspace (w_hi /. 100.0) w_hi 40 in
+  let err = Freq.max_rel_error (Freq.sweep sys omegas) (Freq.sweep rom omegas) in
+  Printf.printf "worst in-band relative error: %.3e\n" err
+
+let reduce_cmd =
+  let doc = "Reduce a circuit model and report the in-band error." in
+  Cmd.v (Cmd.info "reduce" ~doc)
+    Term.(
+      const run_reduce $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ method_arg
+      $ order_arg $ tol_arg $ samples_arg $ band_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let npoints_arg =
+  Arg.(value & opt int 40 & info [ "points" ] ~docv:"N" ~doc:"Number of frequency points.")
+
+let run_sweep circuit spice size ports seed npoints band =
+  let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
+  let sys = Dss.of_netlist nl in
+  let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
+  let w_lo = match band with Some (lo, _) -> Float.max lo (w_hi /. 1000.0) | None -> w_hi /. 1000.0 in
+  print_endline "omega_rad_s\tf_GHz\tmag_H11\tphase_rad";
+  Array.iter
+    (fun w ->
+      let h = Cmat.get (Freq.eval_jw sys w) 0 0 in
+      Printf.printf "%.5e\t%.4f\t%.5e\t%.4f\n" w
+        (w /. (2.0 *. Float.pi *. 1e9))
+        (Complex.norm h) (Complex.arg h))
+    (Vec.linspace w_lo w_hi npoints)
+
+let sweep_cmd =
+  let doc = "Print the port-1 frequency response of a circuit model." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run_sweep $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ npoints_arg
+      $ band_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_export circuit size ports seed output =
+  match circuit with
+  | None -> failwith "--circuit is required for export"
+  | Some c -> (
+      let nl = build_netlist c ~size ~ports ~seed in
+      match output with
+      | Some path -> Pmtbr_circuit.Spice.write_file path nl
+      | None -> print_string (Pmtbr_circuit.Spice.to_string nl))
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+
+let export_cmd =
+  let doc = "Export a generated circuit as a SPICE-dialect netlist." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run_export $ circuit_arg $ size_arg $ ports_arg $ seed_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Poor Man's TBR: model order reduction for circuit parasitics" in
+  let info = Cmd.info "pmtbr" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ info_cmd; hsv_cmd; reduce_cmd; sweep_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/band_limited.ml: Dss Float Freq Freq_selective Pmtbr Pmtbr_circuit Pmtbr_core Pmtbr_la Pmtbr_lti Printf Tbr Vec

@@ -1,0 +1,1 @@
+examples/band_limited.mli:

@@ -1,0 +1,1 @@
+examples/correlated_ports.ml: Array Dss Float Input_correlated Mat Pmtbr_circuit Pmtbr_core Pmtbr_la Pmtbr_lti Pmtbr_signal Printf Rng Sampling Tbr Tdsim Waveform

@@ -1,0 +1,1 @@
+examples/correlated_ports.mli:

@@ -1,0 +1,1 @@
+examples/modal_export.ml: Array Cmat Complex Dss Float Freq Freq_selective List Modal Moments Pmtbr Pmtbr_circuit Pmtbr_core Pmtbr_la Pmtbr_lti Printf Vec

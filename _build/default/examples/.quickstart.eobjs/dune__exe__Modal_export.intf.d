@@ -1,0 +1,1 @@
+examples/modal_export.mli:

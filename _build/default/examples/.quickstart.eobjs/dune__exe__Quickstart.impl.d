@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dss Freq Mat Pmtbr Pmtbr_circuit Pmtbr_core Pmtbr_la Pmtbr_lti Printf Sampling Tdsim Vec

@@ -1,0 +1,1 @@
+examples/spiral_inductor.ml: Array Dss Error_est Float Freq List Pmtbr Pmtbr_circuit Pmtbr_core Pmtbr_la Pmtbr_lti Prima Printf Sampling Vec

@@ -1,0 +1,1 @@
+examples/spiral_inductor.mli:

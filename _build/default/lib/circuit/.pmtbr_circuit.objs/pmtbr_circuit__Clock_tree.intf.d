@@ -1,0 +1,1 @@
+lib/circuit/clock_tree.mli: Netlist

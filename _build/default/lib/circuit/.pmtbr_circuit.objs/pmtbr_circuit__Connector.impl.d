@@ -1,0 +1,1 @@
+lib/circuit/connector.ml: Array Float Netlist

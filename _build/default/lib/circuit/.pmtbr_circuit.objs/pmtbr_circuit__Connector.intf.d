@@ -1,0 +1,1 @@
+lib/circuit/connector.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/coupled_bus.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array List Mat Netlist Pmtbr_la Pmtbr_sparse Triplet

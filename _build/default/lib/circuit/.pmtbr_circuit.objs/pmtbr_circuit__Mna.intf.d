@@ -1,0 +1,1 @@
+lib/circuit/mna.mli: Netlist Pmtbr_la Pmtbr_sparse

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Float List

@@ -1,0 +1,1 @@
+lib/circuit/peec.ml: Netlist

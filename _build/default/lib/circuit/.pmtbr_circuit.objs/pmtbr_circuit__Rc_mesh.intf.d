@@ -1,0 +1,1 @@
+lib/circuit/rc_mesh.mli: Netlist

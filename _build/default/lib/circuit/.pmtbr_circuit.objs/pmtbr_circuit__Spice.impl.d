@@ -1,0 +1,1 @@
+lib/circuit/spice.ml: Buffer Char Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/circuit/spice.mli: Netlist

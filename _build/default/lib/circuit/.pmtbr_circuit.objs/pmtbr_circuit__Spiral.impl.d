@@ -1,0 +1,1 @@
+lib/circuit/spiral.ml: Array Float List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/spiral.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/substrate.ml: Array Float Hashtbl Netlist Pmtbr_signal Rng

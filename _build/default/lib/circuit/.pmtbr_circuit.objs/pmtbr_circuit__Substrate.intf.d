@@ -1,0 +1,1 @@
+lib/circuit/substrate.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/tline.ml: Netlist

@@ -1,0 +1,40 @@
+(* Balanced binary RC clock-distribution tree (paper Figs. 5-6 use an RC
+   clock net).  Each branch is a short RC section whose resistance grows and
+   capacitance shrinks with depth, as in a tapered H-tree; leaves carry load
+   capacitors.  The single port is the driving point at the root. *)
+
+let generate ?(levels = 7) ?(r_unit = 20.0) ?(c_unit = 5e-14) ?(c_load = 2e-13)
+    ?(r_drive = 50.0) () =
+  let nl = Netlist.create () in
+  let next = ref 1 in
+  let fresh () =
+    let n = !next in
+    incr next;
+    n
+  in
+  let root = fresh () in
+  ignore (Netlist.add_port nl root);
+  (* driver output resistance to ground models the (linearised) driver *)
+  Netlist.add_r nl root 0 r_drive;
+  let rec grow parent depth =
+    if depth >= levels then Netlist.add_c nl parent 0 c_load
+    else begin
+      let taper = Float.of_int (depth + 1) in
+      let r = r_unit *. taper and c = c_unit /. taper in
+      let left = fresh () and right = fresh () in
+      Netlist.add_r nl parent left r;
+      Netlist.add_c nl left 0 c;
+      Netlist.add_r nl parent right (r *. 1.08);
+      (* slight asymmetry avoids exactly repeated Hankel singular values *)
+      Netlist.add_c nl right 0 (c *. 0.92);
+      grow left (depth + 1);
+      grow right (depth + 1)
+    end
+  in
+  Netlist.add_c nl root 0 c_unit;
+  grow root 0;
+  nl
+
+(* Approximate usable bandwidth of the tree (rad/s): inverse of the smallest
+   branch time constant; used to pick sampling ranges in the experiments. *)
+let bandwidth ?(r_unit = 20.0) ?(c_unit = 5e-14) () = 1.0 /. (r_unit *. c_unit) *. 0.5

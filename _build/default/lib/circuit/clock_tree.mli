@@ -1,0 +1,12 @@
+(** Balanced binary RC clock-distribution tree (the clock-net model of
+    paper Figs. 5-6).  Branch resistance grows and capacitance shrinks with
+    depth as in a tapered H-tree; leaves carry load capacitors; the single
+    port is the driving point at the root. *)
+
+val generate : ?levels:int -> ?r_unit:float -> ?c_unit:float -> ?c_load:float ->
+  ?r_drive:float -> unit -> Netlist.t
+(** Build the tree ([2^(levels+1) - 1] nodes).  A slight left/right
+    asymmetry avoids exactly repeated Hankel singular values. *)
+
+val bandwidth : ?r_unit:float -> ?c_unit:float -> unit -> float
+(** Approximate usable bandwidth (rad/s), for picking sampling ranges. *)

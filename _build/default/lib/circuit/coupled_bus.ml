@@ -1,0 +1,35 @@
+(* Coupled RC bus: parallel signal lines over a common return with
+   line-to-line coupling capacitance - the canonical digital-interconnect
+   crosstalk structure.  Multi-port (near end of each line drives, so the
+   model captures both driving-point and transfer/crosstalk behaviour). *)
+
+(* [generate ~lines ~sections ()] builds [lines] parallel RC lines of
+   [sections] segments each, with coupling capacitance [c_couple] between
+   vertically adjacent nodes of neighbouring lines.  One current port at
+   the near end of every line. *)
+let generate ?(lines = 4) ?(sections = 20) ?(r = 25.0) ?(c_ground = 20e-15)
+    ?(c_couple = 15e-15) ?(r_term = 200.0) () =
+  assert (lines >= 1 && sections >= 1);
+  let nl = Netlist.create () in
+  (* node numbering: line i, tap j (0..sections) -> 1 + i*(sections+1) + j *)
+  let node i j = 1 + (i * (sections + 1)) + j in
+  for i = 0 to lines - 1 do
+    ignore (Netlist.add_port nl (node i 0));
+    for j = 0 to sections do
+      Netlist.add_c nl (node i j) 0 c_ground;
+      if j < sections then Netlist.add_r nl (node i j) (node i (j + 1)) r
+    done;
+    Netlist.add_r nl (node i sections) 0 r_term
+  done;
+  for i = 0 to lines - 2 do
+    for j = 0 to sections do
+      Netlist.add_c nl (node i j) (node (i + 1) j) c_couple
+    done
+  done;
+  nl
+
+(* Dominant bandwidth of the bus (rad/s). *)
+let bandwidth ?(sections = 20) ?(r = 25.0) ?(c_ground = 20e-15) ?(c_couple = 15e-15) () =
+  let c_total = float_of_int (sections + 1) *. (c_ground +. c_couple) in
+  let r_total = float_of_int sections *. r in
+  4.0 /. (r_total *. c_total)

@@ -1,0 +1,11 @@
+(** Coupled RC bus: parallel signal lines with line-to-line coupling
+    capacitance — the canonical digital-interconnect crosstalk structure.
+    Multi-port: a current port at the near end of every line, so the model
+    captures both driving-point and transfer/crosstalk behaviour. *)
+
+val generate : ?lines:int -> ?sections:int -> ?r:float -> ?c_ground:float ->
+  ?c_couple:float -> ?r_term:float -> unit -> Netlist.t
+(** Build the bus ([lines * (sections + 1)] nodes). *)
+
+val bandwidth : ?sections:int -> ?r:float -> ?c_ground:float -> ?c_couple:float -> unit -> float
+(** Approximate bandwidth (rad/s) of the bus, for sampling ranges. *)

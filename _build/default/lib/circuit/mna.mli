@@ -1,0 +1,25 @@
+(** Modified nodal analysis: stamp a netlist into descriptor state-space
+    form
+
+    {v
+      E dx/dt = A x + B u,   y = C x
+    v}
+
+    with [x = [node voltages; inductor currents]], [u] the port injection
+    currents and [y] the port node voltages.  For RC networks this yields
+    the paper's symmetric case: [A = A^T] negative semidefinite and
+    [C = B^T]. *)
+
+type system = {
+  e : Pmtbr_sparse.Triplet.t;  (** n x n, capacitance/inductance stamp *)
+  a : Pmtbr_sparse.Triplet.t;  (** n x n, conductance/incidence stamp *)
+  b : Pmtbr_la.Mat.t;  (** n x p input map *)
+  c : Pmtbr_la.Mat.t;  (** p x n output map (= [b^T] here) *)
+  n : int;  (** state count = nodes + inductors *)
+  nodes : int;
+  inductors : int;
+}
+
+val stamp : Netlist.t -> system
+(** Stamp a netlist.  Ground (node 0) is eliminated; the port matrices are
+    built from the declared ports in order. *)

@@ -1,0 +1,13 @@
+(** Lumped-element equivalent circuit in the spirit of the PVL paper's PEEC
+    example (paper Fig. 10): a lightly damped LC ladder with stagger-tuned
+    shunt tanks, producing sharp resonances that moment matching needs high
+    order to capture.  The E matrix is singular (the internal R-L nodes
+    carry no capacitance), which standard TBR cannot handle but PMTBR can
+    (paper Section V-A). *)
+
+val generate : ?cells:int -> ?l_ser:float -> ?r_ser:float -> ?c_shunt:float ->
+  ?r_shunt:float -> unit -> Netlist.t
+(** Build the tank chain; one driving-point port. *)
+
+val sample_band : ?l_ser:float -> ?c_shunt:float -> unit -> float
+(** Band (rad/s) containing the ladder's resonances. *)

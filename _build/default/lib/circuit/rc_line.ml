@@ -1,0 +1,24 @@
+(* Uniform RC transmission-line segment chain: the quickstart example and a
+   convenient analytically-checkable system (its DC input resistance is the
+   sum of the series resistors plus the termination). *)
+
+(* [generate ~sections ~r ~c ~r_term ()] builds a chain
+
+     port(1) --R-- (2) --R-- ... --R-- (sections+1) --R_term-- gnd
+
+   with capacitance [c] from every node to ground.  Port: current injection
+   at node 1, observing its voltage (driving-point impedance). *)
+let generate ?(sections = 50) ?(r = 10.0) ?(c = 1e-12) ?(r_term = 100.0) () =
+  let nl = Netlist.create () in
+  ignore (Netlist.add_port nl 1);
+  for k = 1 to sections do
+    Netlist.add_r nl k (k + 1) r;
+    Netlist.add_c nl k 0 c
+  done;
+  Netlist.add_c nl (sections + 1) 0 c;
+  Netlist.add_r nl (sections + 1) 0 r_term;
+  nl
+
+(* DC input resistance of the generated line (for tests). *)
+let dc_resistance ?(sections = 50) ?(r = 10.0) ?(r_term = 100.0) () =
+  (float_of_int sections *. r) +. r_term

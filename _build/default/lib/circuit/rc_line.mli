@@ -1,0 +1,13 @@
+(** Uniform RC transmission-line segment chain: the quickstart example and
+    a convenient analytically checkable system. *)
+
+val generate : ?sections:int -> ?r:float -> ?c:float -> ?r_term:float -> unit -> Netlist.t
+(** [generate ()] builds
+    [port(1) --R-- (2) --R-- ... --R_term-- gnd] with capacitance [c] from
+    every node to ground; the single port observes the driving-point
+    impedance.  Defaults: 50 sections, 10 ohm, 1 pF, 100 ohm
+    termination. *)
+
+val dc_resistance : ?sections:int -> ?r:float -> ?r_term:float -> unit -> float
+(** DC input resistance of the generated line (for tests):
+    [sections*r + r_term]. *)

@@ -1,0 +1,42 @@
+(* Rectangular RC mesh (paper Figs. 3 and 13): resistor grid with a
+   capacitor and a leak resistor to ground at every node.  Ports are chosen
+   to cover the grid evenly, so growing the port count keeps earlier port
+   positions stable. *)
+
+(* Node numbering: grid position (i, j) -> node 1 + i*cols + j. *)
+let node ~cols i j = 1 + (i * cols) + j
+
+(* [generate ~rows ~cols ~ports ()] builds the mesh with the given number of
+   current-injection ports. *)
+let generate ?(rows = 12) ?(cols = 12) ?(ports = 1) ?(r = 100.0) ?(c = 1e-13)
+    ?(r_leak = 10_000.0) ?r_port_term () =
+  assert (ports >= 1 && ports <= rows * cols);
+  let nl = Netlist.create () in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let nd = node ~cols i j in
+      Netlist.add_c nl nd 0 c;
+      (* with port terminations the grid is grounded only through the
+         drivers, as in an extracted net; otherwise every node leaks *)
+      if r_port_term = None then Netlist.add_r nl nd 0 r_leak;
+      if j + 1 < cols then Netlist.add_r nl nd (node ~cols i (j + 1)) r;
+      if i + 1 < rows then Netlist.add_r nl nd (node ~cols (i + 1) j) r
+    done
+  done;
+  (* spread the ports over the grid with a low-discrepancy stride *)
+  let total = rows * cols in
+  let stride =
+    (* golden-ratio stride, coprime-ish with total *)
+    let s = int_of_float (0.618 *. float_of_int total) in
+    let rec coprime s = if s <= 1 then 1 else if gcd s total = 1 then s else coprime (s - 1)
+    and gcd a b = if b = 0 then a else gcd b (a mod b) in
+    coprime s
+  in
+  for k = 0 to ports - 1 do
+    let cell = 1 + (k * stride mod total) in
+    ignore (Netlist.add_port nl cell);
+    match r_port_term with
+    | Some rt -> Netlist.add_r nl cell 0 rt
+    | None -> ()
+  done;
+  nl

@@ -1,0 +1,17 @@
+(** Rectangular RC mesh (paper Figs. 3 and 13): resistor grid with a
+    capacitor and a leak resistor to ground at every node. *)
+
+val node : cols:int -> int -> int -> int
+(** [node ~cols i j] is the node number of grid position (i, j). *)
+
+val generate : ?rows:int -> ?cols:int -> ?ports:int -> ?r:float -> ?c:float ->
+  ?r_leak:float -> ?r_port_term:float -> unit -> Netlist.t
+(** Build the mesh with the given number of current-injection ports.  Ports
+    are spread over the grid with a fixed low-discrepancy stride, so
+    growing the port count keeps earlier port positions stable (needed for
+    the nested Fig. 3 sweep).  Defaults: 12x12, 1 port, 100 ohm grid
+    resistors, 0.1 pF, 10 kohm leaks at every node.  When [r_port_term] is
+    given, the per-node leaks are dropped and the grid is instead grounded
+    only through that resistance at each port — the driver-conductance
+    termination of an extracted net, which leaves a much richer
+    controllable space. *)

@@ -1,0 +1,173 @@
+(* Reader/writer for a SPICE-like netlist dialect, so that externally
+   extracted parasitic networks can be fed to the reduction algorithms.
+
+   Supported card subset (case-insensitive, '*' comments, blank lines
+   ignored):
+
+     Rname n1 n2 value      resistor
+     Cname n1 n2 value      capacitor
+     Lname n1 n2 value      inductor
+     Kname Lname1 Lname2 k  mutual coupling
+     .port node             current-injection port (voltage observed)
+     .end                   optional terminator
+
+   Node "0" (or "gnd") is ground; any other token is a named node.  Values
+   accept the usual SI suffixes (f p n u m k meg g t). *)
+
+exception Parse_error of int * string
+(* line number (1-based) and message *)
+
+let parse_value ~line s =
+  let s = String.lowercase_ascii s in
+  let len = String.length s in
+  let split i = (String.sub s 0 i, String.sub s i (len - i)) in
+  let rec digits_end i =
+    if i < len && (match s.[i] with '0' .. '9' | '.' | '-' | '+' | 'e' -> true | _ -> false)
+    then
+      (* treat 'e' as part of the number only when followed by a digit/sign *)
+      if s.[i] = 'e'
+         && not (i + 1 < len && (match s.[i + 1] with '0' .. '9' | '-' | '+' -> true | _ -> false))
+      then i
+      else digits_end (i + 1)
+    else i
+  in
+  let stop = digits_end 0 in
+  let num, suffix = split stop in
+  let base =
+    try float_of_string num
+    with Failure _ -> raise (Parse_error (line, "bad numeric value: " ^ s))
+  in
+  let scale =
+    match suffix with
+    | "" -> 1.0
+    | "f" -> 1e-15
+    | "p" -> 1e-12
+    | "n" -> 1e-9
+    | "u" -> 1e-6
+    | "m" -> 1e-3
+    | "k" -> 1e3
+    | "meg" -> 1e6
+    | "g" -> 1e9
+    | "t" -> 1e12
+    | _ -> raise (Parse_error (line, "unknown unit suffix: " ^ suffix))
+  in
+  base *. scale
+
+type t = { netlist : Netlist.t; node_names : (string, int) Hashtbl.t }
+
+let lookup_node t name =
+  let key = String.lowercase_ascii name in
+  if key = "0" || key = "gnd" then 0
+  else
+    match Hashtbl.find_opt t.node_names key with
+    | Some n -> n
+    | None ->
+        let n = Hashtbl.length t.node_names + 1 in
+        Hashtbl.add t.node_names key n;
+        n
+
+let tokens_of_line line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_string text =
+  let t = { netlist = Netlist.create (); node_names = Hashtbl.create 64 } in
+  let inductors = Hashtbl.create 16 in
+  (* name -> inductor id *)
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let body =
+        match String.index_opt raw '*' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let body = String.trim body in
+      if body <> "" then begin
+        match tokens_of_line body with
+        | [] -> ()
+        | card :: rest -> (
+            let kind = Char.lowercase_ascii card.[0] in
+            match (kind, rest) with
+            | '.', args -> (
+                match (String.lowercase_ascii card, args) with
+                | ".end", _ -> ()
+                | ".port", [ node ] -> ignore (Netlist.add_port t.netlist (lookup_node t node))
+                | ".port", _ -> raise (Parse_error (lineno, ".port expects one node"))
+                | other, _ -> raise (Parse_error (lineno, "unknown directive " ^ other)))
+            | 'r', [ n1; n2; v ] ->
+                Netlist.add_r t.netlist (lookup_node t n1) (lookup_node t n2)
+                  (parse_value ~line:lineno v)
+            | 'c', [ n1; n2; v ] ->
+                Netlist.add_c t.netlist (lookup_node t n1) (lookup_node t n2)
+                  (parse_value ~line:lineno v)
+            | 'l', [ n1; n2; v ] ->
+                let id =
+                  Netlist.add_l t.netlist (lookup_node t n1) (lookup_node t n2)
+                    (parse_value ~line:lineno v)
+                in
+                Hashtbl.replace inductors (String.lowercase_ascii card) id
+            | 'k', [ l1; l2; v ] ->
+                let find name =
+                  match Hashtbl.find_opt inductors (String.lowercase_ascii name) with
+                  | Some id -> id
+                  | None -> raise (Parse_error (lineno, "unknown inductor " ^ name))
+                in
+                Netlist.add_mutual t.netlist (find l1) (find l2) (parse_value ~line:lineno v)
+            | ('r' | 'c' | 'l' | 'k'), _ ->
+                raise (Parse_error (lineno, "wrong number of fields: " ^ body))
+            | _, _ -> raise (Parse_error (lineno, "unknown card: " ^ body)))
+      end)
+    lines;
+  t
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let netlist t = t.netlist
+
+let node_name t n =
+  if n = 0 then "0"
+  else
+    let found = ref None in
+    Hashtbl.iter (fun name id -> if id = n then found := Some name) t.node_names;
+    match !found with Some name -> name | None -> string_of_int n
+
+(* Render a netlist back to the dialect above.  Integer node numbers are
+   used directly as node names. *)
+let to_string (nl : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "* exported by pmtbr\n";
+  let r = ref 0 and c = ref 0 and l = ref 0 and k = ref 0 in
+  let l_names = Hashtbl.create 16 in
+  List.iter
+    (fun element ->
+      (match element with
+      | Netlist.Resistor { n1; n2; ohms } ->
+          incr r;
+          Buffer.add_string buf (Printf.sprintf "R%d %d %d %.12g\n" !r n1 n2 ohms)
+      | Netlist.Capacitor { n1; n2; farads } ->
+          incr c;
+          Buffer.add_string buf (Printf.sprintf "C%d %d %d %.12g\n" !c n1 n2 farads)
+      | Netlist.Inductor { n1; n2; henries } ->
+          Hashtbl.replace l_names !l (Printf.sprintf "L%d" (!l + 1));
+          incr l;
+          Buffer.add_string buf (Printf.sprintf "L%d %d %d %.12g\n" !l n1 n2 henries)
+      | Netlist.Mutual { l1; l2; coupling } ->
+          incr k;
+          let name id = try Hashtbl.find l_names id with Not_found -> Printf.sprintf "L%d" (id + 1) in
+          Buffer.add_string buf
+            (Printf.sprintf "K%d %s %s %.12g\n" !k (name l1) (name l2) coupling));
+      ())
+    (Netlist.elements nl);
+  List.iter (fun node -> Buffer.add_string buf (Printf.sprintf ".port %d\n" node)) (Netlist.ports nl);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path nl =
+  let oc = open_out path in
+  output_string oc (to_string nl);
+  close_out oc

@@ -1,0 +1,37 @@
+(** Reader/writer for a SPICE-like netlist dialect, so that externally
+    extracted parasitic networks can be fed to the reduction algorithms.
+
+    Supported cards (case-insensitive, ['*'] comments):
+    [Rname n1 n2 value], [Cname n1 n2 value], [Lname n1 n2 value],
+    [Kname Lname1 Lname2 k], [.port node], [.end].  Node ["0"] or ["gnd"]
+    is ground; any other token is a named node.  Values accept the usual SI
+    suffixes (f p n u m k meg g t). *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_value : line:int -> string -> float
+(** Parse one numeric field with optional SI suffix.
+    @raise Parse_error on malformed input. *)
+
+type t
+(** A parsed netlist together with its node-name table. *)
+
+val parse_string : string -> t
+(** Parse a netlist from text.
+    @raise Parse_error on the first malformed card. *)
+
+val parse_file : string -> t
+(** Parse a netlist file. *)
+
+val netlist : t -> Netlist.t
+(** The stamped-ready netlist. *)
+
+val node_name : t -> int -> string
+(** Original name of an internal node number (ground is ["0"]). *)
+
+val to_string : Netlist.t -> string
+(** Render a netlist in the dialect above (integer node names). *)
+
+val write_file : string -> Netlist.t -> unit
+(** [to_string] to a file. *)

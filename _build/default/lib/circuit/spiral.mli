@@ -1,0 +1,15 @@
+(** On-chip spiral inductor compact model (paper Figs. 7-9).  Skin and
+    proximity effect are modelled with multi-branch Foster RL ladders whose
+    time constants span several decades, so the driving-point resistance
+    R(omega) climbs over a wide band: single-point moment matching (PRIMA)
+    converges slowly on it while frequency sampling captures it quickly. *)
+
+val generate : ?segments:int -> ?l_seg:float -> ?r_dc:float -> ?skin_branches:int ->
+  ?c_sub:float -> ?coupling:float -> unit -> Netlist.t
+(** Build the spiral; one port at the input terminal, far terminal
+    grounded.  Neighbouring turns are magnetically coupled with
+    distance-decaying coefficients. *)
+
+val sample_band : ?segments:int -> ?l_seg:float -> ?c_sub:float -> unit -> float
+(** Band (rad/s) over which the experiments sample the spiral: DC to a
+    little past the self-resonance. *)

@@ -1,0 +1,53 @@
+(* Massively coupled substrate parasitic network (paper Figs. 15-16):
+   boundary-element extractions of substrates yield dense-ish resistive
+   coupling among many contacts plus capacitance to the backplane.  We
+   synthesise one as a random geometric graph: contacts scattered in the
+   unit square, resistively coupled to their nearest neighbours with
+   conductance decaying with distance, every node tied to the grounded
+   backplane by a resistor and a capacitor.  All contacts are ports. *)
+
+open Pmtbr_signal
+
+let generate ?(ports = 150) ?(internal = 0) ?(neighbours = 5) ?(seed = 42)
+    ?(g_scale = 1e-3) ?(g_back = 2e-4) ?(c_back = 50e-15) () =
+  let rng = Rng.create seed in
+  let n = ports + internal in
+  let xs = Array.init n (fun _ -> Rng.float rng) in
+  let ys = Array.init n (fun _ -> Rng.float rng) in
+  let nl = Netlist.create () in
+  let dist i j = Float.hypot (xs.(i) -. xs.(j)) (ys.(i) -. ys.(j)) in
+  (* connect each node to its k nearest neighbours *)
+  let connected = Hashtbl.create (n * neighbours) in
+  for i = 0 to n - 1 do
+    let others = Array.init n (fun j -> j) in
+    Array.sort (fun a b -> compare (dist i a) (dist i b)) others;
+    let added = ref 0 and k = ref 0 in
+    while !added < neighbours && !k < n do
+      let j = others.(!k) in
+      incr k;
+      if j <> i then begin
+        let key = (min i j, max i j) in
+        if not (Hashtbl.mem connected key) then begin
+          Hashtbl.add connected key ();
+          let d = Float.max 0.02 (dist i j) in
+          (* conductance falls off with separation, with some spread *)
+          let g = g_scale /. d *. Rng.log_uniform rng ~lo:0.5 ~hi:2.0 in
+          Netlist.add_r nl (i + 1) (j + 1) (1.0 /. g);
+          incr added
+        end
+      end
+    done
+  done;
+  (* backplane: resistive + capacitive path to ground at every contact *)
+  for i = 0 to n - 1 do
+    let g = g_back *. Rng.log_uniform rng ~lo:0.5 ~hi:2.0 in
+    Netlist.add_r nl (i + 1) 0 (1.0 /. g);
+    Netlist.add_c nl (i + 1) 0 (c_back *. Rng.log_uniform rng ~lo:0.5 ~hi:2.0)
+  done;
+  for i = 0 to ports - 1 do
+    ignore (Netlist.add_port nl (i + 1))
+  done;
+  nl
+
+(* Typical substrate relaxation frequency (rad/s), for sampling ranges. *)
+let corner_frequency ?(g_back = 2e-4) ?(c_back = 50e-15) () = g_back /. c_back

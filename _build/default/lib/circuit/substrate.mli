@@ -1,0 +1,12 @@
+(** Massively coupled substrate parasitic network (paper Figs. 15-16),
+    synthesised as a random geometric graph: contacts scattered in the unit
+    square, resistively coupled to their nearest neighbours with
+    distance-decaying conductance, every node tied to the grounded
+    backplane by a resistor and a capacitor.  All contacts are ports. *)
+
+val generate : ?ports:int -> ?internal:int -> ?neighbours:int -> ?seed:int ->
+  ?g_scale:float -> ?g_back:float -> ?c_back:float -> unit -> Netlist.t
+(** Build the network; deterministic for a fixed [seed]. *)
+
+val corner_frequency : ?g_back:float -> ?c_back:float -> unit -> float
+(** Typical substrate relaxation frequency (rad/s), for sampling ranges. *)

@@ -1,0 +1,18 @@
+(** Lossy transmission-line segment model: a cascade of RLGC cells with a
+    proper characteristic impedance and delay.  With matched termination
+    the response is smooth; mismatched termination shows reflection ripple
+    — a good stress test for band-limited reduction. *)
+
+val generate : ?cells:int -> ?l_cell:float -> ?c_cell:float -> ?r_cell:float ->
+  ?g_leak:float -> ?r_term:float -> unit -> Netlist.t
+(** Build the line; one driving-point port at the near end. *)
+
+val z0 : ?l_cell:float -> ?c_cell:float -> unit -> float
+(** Characteristic impedance [sqrt (l/c)] of a cell. *)
+
+val delay : ?cells:int -> ?l_cell:float -> ?c_cell:float -> unit -> float
+(** One-way delay of the whole line (seconds). *)
+
+val valid_band : ?l_cell:float -> ?c_cell:float -> unit -> float
+(** Band (rad/s) within which the discrete cascade approximates a
+    continuous line. *)

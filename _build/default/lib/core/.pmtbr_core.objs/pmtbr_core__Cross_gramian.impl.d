@@ -1,0 +1,1 @@
+lib/core/cross_gramian.ml: Array Complex Cschur Cvec Dss Float Mat Pmtbr_la Pmtbr_lti Qr Sampling Vec Zmat

@@ -1,0 +1,1 @@
+lib/core/cross_gramian.mli: Complex Dss Mat Pmtbr_la Pmtbr_lti Sampling

@@ -1,0 +1,1 @@
+lib/core/freq_selective.ml: List Pmtbr Sampling

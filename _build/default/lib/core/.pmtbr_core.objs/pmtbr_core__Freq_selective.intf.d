@@ -1,0 +1,1 @@
+lib/core/freq_selective.mli: Pmtbr Pmtbr_lti Sampling

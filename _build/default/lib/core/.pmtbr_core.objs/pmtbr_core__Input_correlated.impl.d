@@ -1,0 +1,1 @@
+lib/core/input_correlated.ml: Array Correlation Dss List Mat Pmtbr Pmtbr_la Pmtbr_lti Pmtbr_signal Rng Sampling Vec Zmat

@@ -1,0 +1,1 @@
+lib/core/input_correlated.mli: Dss Mat Pmtbr_la Pmtbr_lti Sampling

@@ -1,0 +1,1 @@
+lib/core/multipoint.ml: Array Dss Mat Pmtbr_la Pmtbr_lti Qr Sampling Zmat

@@ -1,0 +1,1 @@
+lib/core/multipoint.mli: Dss Mat Pmtbr_la Pmtbr_lti Sampling

@@ -1,0 +1,1 @@
+lib/core/pmtbr.ml: Array Dss Float Mat Pmtbr_la Pmtbr_lti Qr Sampling Svd Zmat

@@ -1,0 +1,1 @@
+lib/core/prima.ml: Array Complex Dss List Mat Pmtbr_la Pmtbr_lti Qr

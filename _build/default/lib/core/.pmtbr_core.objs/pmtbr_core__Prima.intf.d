@@ -1,0 +1,1 @@
+lib/core/prima.mli: Dss Mat Pmtbr_la Pmtbr_lti

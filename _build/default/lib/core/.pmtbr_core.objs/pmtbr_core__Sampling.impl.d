@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Array Complex Float List Pmtbr_signal Quad

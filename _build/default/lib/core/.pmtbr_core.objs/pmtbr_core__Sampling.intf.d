@@ -1,0 +1,1 @@
+lib/core/sampling.mli: Complex Pmtbr_signal

@@ -1,0 +1,1 @@
+lib/core/time_sampled.ml: Array Dss Float Mat Pmtbr Pmtbr_la Pmtbr_lti Svd Tdsim

@@ -1,0 +1,1 @@
+lib/core/time_sampled.mli: Dss Mat Pmtbr_la Pmtbr_lti

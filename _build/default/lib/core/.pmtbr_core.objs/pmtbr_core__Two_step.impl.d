@@ -1,0 +1,1 @@
+lib/core/two_step.ml: Dss Pmtbr_lti Prima Tbr

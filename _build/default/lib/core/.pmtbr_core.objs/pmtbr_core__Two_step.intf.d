@@ -1,0 +1,1 @@
+lib/core/two_step.mli: Pmtbr_lti

@@ -1,0 +1,1 @@
+lib/core/zmat.ml: Array Complex Dss Float List Mat Pmtbr_la Pmtbr_lti Sampling

@@ -1,0 +1,1 @@
+lib/core/zmat.mli: Complex Dss Mat Pmtbr_la Pmtbr_lti Sampling

@@ -1,0 +1,62 @@
+(* Sampled cross-Gramian reduction (paper Section V-D).  Two sample sets are
+   taken: controllability samples Z^R = (s_k E - A)^{-1} B and observability
+   samples Z^L = (s_k E - A)^{-H} C^T.  The dominant eigenvectors of
+   Z^R (Z^L)^T approximate the dominant eigenspace of the cross-Gramian;
+   they are found through the compressed eigenproblem
+
+       R^R (R^L)^T y = lambda y,   Z^R = Q R^R,  Z^L = Q R^L
+
+   with Q an orthonormal basis of the joint column space. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  eigenvalues : Complex.t array; (* of the compressed pencil, |.| descending *)
+  samples : int;
+}
+
+let reduce ?(order : int option) ?(tol = 1e-8) sys (pts : Sampling.point array) =
+  let zr = Zmat.build sys pts in
+  let zl = Zmat.build_left sys pts in
+  let q = Qr.orth (Mat.hcat zr zl) in
+  let rr = Mat.mul (Mat.transpose q) zr in
+  let rl = Mat.mul (Mat.transpose q) zl in
+  let m = Mat.mul rr (Mat.transpose rl) in
+  let schur = Cschur.of_real m in
+  let evs = Cschur.eigenvalues schur in
+  let k = Array.length evs in
+  let order_idx = Array.init k (fun i -> i) in
+  Array.sort (fun i j -> compare (Complex.norm evs.(j)) (Complex.norm evs.(i))) order_idx;
+  let magmax = Float.max 1e-300 (Complex.norm evs.(order_idx.(0))) in
+  let q_model =
+    match order with
+    | Some q -> min q k
+    | None ->
+        let r = ref 0 in
+        Array.iter (fun i -> if Complex.norm evs.(i) > tol *. magmax then incr r) order_idx;
+        max 1 !r
+  in
+  (* real basis spanning the dominant eigenvectors: take Re and Im parts,
+     then orthonormalise *)
+  let vec_cols = ref [] in
+  for rank = q_model - 1 downto 0 do
+    let i = order_idx.(rank) in
+    let v = Cschur.eigenvector schur i in
+    let re = Cvec.re v and im = Cvec.im v in
+    if Vec.norm2 im > 1e-12 *. Vec.norm2 re then vec_cols := im :: !vec_cols;
+    vec_cols := re :: !vec_cols
+  done;
+  let cols = Array.of_list !vec_cols in
+  let small = Mat.init k (Array.length cols) (fun i j -> cols.(j).(i)) in
+  let small_orth = Qr.orth small in
+  let basis = Mat.mul q small_orth in
+  let evs_sorted = Array.map (fun i -> evs.(i)) order_idx in
+  {
+    rom = Dss.project_congruence sys basis;
+    basis;
+    eigenvalues = evs_sorted;
+    samples = Array.length pts;
+  }

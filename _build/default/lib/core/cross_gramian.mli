@@ -1,0 +1,21 @@
+(** Sampled cross-Gramian reduction (paper Section V-D).  Controllability
+    samples [Z^R = (s_k E - A)^{-1} B] and observability samples
+    [Z^L = (s_k E - A)^{-H} C^T] are combined through the compressed
+    eigenproblem [R^R (R^L)^T y = lambda y] (with [Z^R = Q R^R],
+    [Z^L = Q R^L] for a joint orthonormal basis [Q]); the dominant
+    eigenvectors approximate the dominant cross-Gramian eigenspace. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  eigenvalues : Complex.t array;  (** of the compressed pencil, |.| descending *)
+  samples : int;
+}
+
+val reduce : ?order:int -> ?tol:float -> Dss.t -> Sampling.point array -> result
+(** Reduce onto the dominant cross-Gramian eigenspace; [tol] (default
+    [1e-8]) drops eigenvalues relative to the largest magnitude when
+    [order] is not given. *)

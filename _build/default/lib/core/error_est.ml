@@ -1,0 +1,25 @@
+(* Singular-value-based error estimation (paper Section V-B): the trailing
+   singular values of ZW estimate the error of the order-q reduced model the
+   way truncated Hankel singular values bound the TBR error. *)
+
+(* TBR-style estimate for truncation at order q: 2 * sum of the tail. *)
+let tail_bound (sigma : float array) q =
+  let acc = ref 0.0 in
+  Array.iteri (fun i s -> if i >= q then acc := !acc +. s) sigma;
+  2.0 *. !acc
+
+(* Estimates for all orders 0..n. *)
+let curve (sigma : float array) = Array.init (Array.length sigma + 1) (tail_bound sigma)
+
+(* Normalised estimate: tail relative to sigma_0 (the "normalized error
+   estimate" plotted in Fig. 16). *)
+let normalized_curve (sigma : float array) =
+  let smax = if Array.length sigma = 0 then 1.0 else Float.max sigma.(0) 1e-300 in
+  Array.map (fun e -> e /. (2.0 *. smax)) (curve sigma)
+
+(* Order needed to push the normalised estimate below [tol]. *)
+let order_for (sigma : float array) ~tol =
+  let curve = normalized_curve sigma in
+  let n = Array.length curve in
+  let rec search q = if q >= n then n - 1 else if curve.(q) <= tol then q else search (q + 1) in
+  search 0

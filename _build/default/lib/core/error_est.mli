@@ -1,0 +1,17 @@
+(** Singular-value-based error estimation (paper Section V-B): the trailing
+    singular values of [ZW] estimate the error of the order-q reduced model
+    the way truncated Hankel singular values bound the TBR error. *)
+
+val tail_bound : float array -> int -> float
+(** [tail_bound sigma q] is the TBR-style estimate [2 * sum_{i >= q}
+    sigma_i]. *)
+
+val curve : float array -> float array
+(** Estimates for every order [0 .. n]. *)
+
+val normalized_curve : float array -> float array
+(** {!curve} normalised by [2 * sigma_0] (the "normalised error estimate"
+    of paper Fig. 16). *)
+
+val order_for : float array -> tol:float -> int
+(** Smallest order whose normalised estimate is at most [tol]. *)

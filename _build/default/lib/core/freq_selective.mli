@@ -1,0 +1,22 @@
+(** Frequency-selective TBR (Algorithm 2): PMTBR with sample points
+    restricted to the union of the frequency bands of interest, making the
+    implied Gramian the finite-bandwidth Gramian of paper eq. 16-18.  The
+    reduced model concentrates its accuracy inside the bands and ignores
+    out-of-band behaviour. *)
+
+type band = { lo : float; hi : float }
+(** A frequency interval in rad/s. *)
+
+val band : lo:float -> hi:float -> band
+(** Validated constructor ([0 <= lo < hi]). *)
+
+val scheme_of_bands : band list -> Sampling.scheme
+(** The sampling scheme drawing Gauss-Legendre points in each band. *)
+
+val reduce : ?order:int -> ?tol:float -> Pmtbr_lti.Dss.t -> bands:band list -> count:int ->
+  Pmtbr.result
+(** Reduce with [count] points drawn only from [bands]. *)
+
+val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> Pmtbr_lti.Dss.t ->
+  bands:band list -> count:int -> Pmtbr.result
+(** Adaptive variant with on-the-fly order control. *)

@@ -1,0 +1,77 @@
+(* Input-correlated TBR (Algorithm 3): when the port inputs are correlated,
+   the effective Gramian is A X + X A^T + B K B^T = 0 with K the input
+   correlation matrix.  Instead of forming K, the input sample matrix U is
+   SVD'd (U = V_K S_K U_K^T) and each frequency sample is taken against a
+   random input direction B V_K r with r ~ N(0, S_K^2): the sampled Gramian
+   then converges to the K-weighted one. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+open Pmtbr_signal
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  singular_values : float array;
+  input_rank : int; (* retained input directions *)
+  samples : int;
+}
+
+(* [reduce sys ~inputs ~points ~draws] runs Algorithm 3:
+   [inputs] is the p x N matrix of sampled input waveforms; [points] the
+   frequency points to cycle through; [draws] the number of sample vectors
+   (each pairs one frequency point with one random input direction). *)
+let reduce ?order ?tol ?(input_tol = 1e-6) ?(seed = 2004) sys ~(inputs : Mat.t)
+    ~(points : Sampling.point array) ~draws =
+  assert (inputs.Mat.rows = Dss.inputs sys);
+  let rng = Rng.create seed in
+  let basis = Correlation.truncate ~tol:input_tol (Correlation.analyse inputs) in
+  let b = Dss.b_matrix sys in
+  let n_pts = Array.length points in
+  assert (n_pts > 0 && draws > 0);
+  let pts_rhs =
+    List.init draws (fun k ->
+        let p = points.(k mod n_pts) in
+        let dir = Correlation.draw_direction ~rng basis in
+        let rhs = Mat.init b.Mat.rows 1 (fun i _ -> Vec.dot (Mat.row b i) dir) in
+        (p, rhs))
+  in
+  let zw = Zmat.build_per_point sys pts_rhs in
+  let r = Pmtbr.of_basis sys ~zw ?order ?tol ~samples:draws () in
+  {
+    rom = r.Pmtbr.rom;
+    basis = r.Pmtbr.basis;
+    singular_values = r.Pmtbr.singular_values;
+    input_rank = basis.Correlation.directions.Mat.cols;
+    samples = draws;
+  }
+
+(* Deterministic variant: instead of random draws, use the leading input
+   directions themselves, scaled by their singular values, at every
+   frequency point.  Cheaper and reproducible; used for the large substrate
+   experiments. *)
+let reduce_deterministic ?order ?tol ?(input_tol = 1e-6) ?(directions = 0) sys
+    ~(inputs : Mat.t) ~(points : Sampling.point array) =
+  let basis = Correlation.truncate ~tol:input_tol (Correlation.analyse inputs) in
+  let dirs = basis.Correlation.directions in
+  let r_in = if directions > 0 then min directions dirs.Mat.cols else dirs.Mat.cols in
+  let b = Dss.b_matrix sys in
+  (* rhs = B * (V_K S_K) restricted to the leading directions *)
+  let rhs =
+    Mat.mul b
+      (Mat.init dirs.Mat.rows r_in (fun i j -> Mat.get dirs i j *. basis.Correlation.sigmas.(j)))
+  in
+  let blocks = Array.map (Zmat.point_block sys ~rhs) points in
+  let zw =
+    match Array.to_list blocks with
+    | [] -> invalid_arg "Input_correlated.reduce_deterministic: no points"
+    | first :: rest -> List.fold_left Mat.hcat first rest
+  in
+  let r = Pmtbr.of_basis sys ~zw ?order ?tol ~samples:(Array.length points) () in
+  {
+    rom = r.Pmtbr.rom;
+    basis = r.Pmtbr.basis;
+    singular_values = r.Pmtbr.singular_values;
+    input_rank = r_in;
+    samples = Array.length points;
+  }

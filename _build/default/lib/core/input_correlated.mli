@@ -1,0 +1,34 @@
+(** Input-correlated TBR (Algorithm 3).  When the port inputs are
+    correlated, the effective Gramian solves
+    [A X + X A^T + B K B^T = 0] with [K] the input correlation matrix.
+    Instead of forming [K], the input sample matrix is SVD'd and each
+    frequency sample is taken against an input direction drawn from the
+    estimated input distribution, so the sampled Gramian converges to the
+    K-weighted one and the model order tracks the {e correlated} — much
+    smaller — controllable subspace. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  singular_values : float array;
+  input_rank : int;  (** retained input directions *)
+  samples : int;
+}
+
+val reduce : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int -> Dss.t ->
+  inputs:Mat.t -> points:Sampling.point array -> draws:int -> result
+(** Run Algorithm 3.  [inputs] is the [p x N] matrix of sampled input
+    waveforms; [points] the frequency points to cycle through; [draws] the
+    number of sample vectors (each pairing one frequency point with one
+    random input direction).  [input_tol] truncates the input SVD (default
+    [1e-6] relative); [seed] makes the direction draws reproducible. *)
+
+val reduce_deterministic : ?order:int -> ?tol:float -> ?input_tol:float -> ?directions:int ->
+  Dss.t -> inputs:Mat.t -> points:Sampling.point array -> result
+(** Deterministic variant: use the leading input directions themselves,
+    scaled by their singular values, at every frequency point.  Cheaper and
+    reproducible; used for the large substrate experiments.  [directions]
+    caps the retained input rank (0 = keep all above [input_tol]). *)

@@ -1,0 +1,25 @@
+(* Plain multipoint rational projection (the paper's MPPROJ baseline,
+   Section II-C): the same sample vectors as PMTBR, but the basis keeps
+   every (orthogonalised) sample column instead of truncating by singular
+   value.  The model order therefore equals the number of realified sample
+   columns, and redundant information among samples is not pruned - exactly
+   the weakness Fig. 10 exposes. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = { rom : Dss.t; basis : Mat.t; samples : int }
+
+(* Reduce with the first [count] points of [pts] (unweighted: multipoint
+   projection has no quadrature interpretation). *)
+let reduce sys (pts : Sampling.point array) ~count =
+  assert (count >= 1 && count <= Array.length pts);
+  let used = Array.sub pts 0 count in
+  let unweighted = Array.map (fun p -> { p with Sampling.weight = 1.0 }) used in
+  let z = Zmat.build sys unweighted in
+  let basis = Qr.orth z in
+  { rom = Dss.project_congruence sys basis; basis; samples = count }
+
+(* The model order obtained from [count] points (2 columns per complex
+   point, 1 per real point, minus rank deficiencies). *)
+let order_of result = result.basis.Mat.cols

@@ -1,0 +1,170 @@
+(* PMTBR, Algorithm 1 of the paper:
+
+     1. pick frequency points s_i (a [Sampling.scheme])
+     2. z_i = (s_i E - A)^{-1} B
+     3. SVD of the weighted, realified sample matrix Z W
+     4. keep the left singular vectors whose singular values are significant
+     5. reduce by congruence projection with that basis
+
+   The singular values of Z W approximate the Hankel singular values
+   (Section III-B) and drive order/error control (Section V-B/C). *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t; (* reduced model *)
+  basis : Mat.t; (* projection basis V, n x q *)
+  singular_values : float array; (* all singular values of ZW, descending *)
+  samples : int; (* number of frequency points consumed *)
+}
+
+(* Truncation order from singular values: keep sigma_i while the *tail sum*
+   exceeds [tol] relative to sigma_0 (the TBR-like small-tail criterion of
+   Section V-B), capped by [order] if given. *)
+let choose_order ~(sigma : float array) ?order ?(tol = 1e-10) () =
+  let n = Array.length sigma in
+  if n = 0 then 0
+  else begin
+    let smax = Float.max sigma.(0) 1e-300 in
+    (* smallest q with sum_{i>=q} sigma_i <= tol * sigma_0 *)
+    let tail = Array.make (n + 1) 0.0 in
+    for i = n - 1 downto 0 do
+      tail.(i) <- tail.(i + 1) +. sigma.(i)
+    done;
+    let rec search q = if q >= n then n else if tail.(q) <= tol *. smax then q else search (q + 1) in
+    let q_tol = max 1 (search 0) in
+    match order with Some q -> max 1 (min q q_tol) | None -> q_tol
+  end
+
+let of_basis sys ~(zw : Mat.t) ?order ?tol ~samples () =
+  let { Svd.u; sigma; _ } = Svd.decompose zw in
+  let q = choose_order ~sigma ?order ?tol () in
+  (* never keep directions below numerical noise *)
+  let q =
+    let smax = Float.max sigma.(0) 1e-300 in
+    let rec cap k = if k <= 1 then 1 else if sigma.(k - 1) > 1e-14 *. smax then k else cap (k - 1) in
+    cap q
+  in
+  let basis = Mat.sub_cols u 0 q in
+  { rom = Dss.project_congruence sys basis; basis; singular_values = sigma; samples }
+
+(* One-shot PMTBR with a fixed point set. *)
+let reduce ?order ?tol sys (pts : Sampling.point array) =
+  let zw = Zmat.build sys pts in
+  of_basis sys ~zw ?order ?tol ~samples:(Array.length pts) ()
+
+(* Convenience: uniform sampling of [0, w_max]. *)
+let reduce_uniform ?order ?tol sys ~w_max ~count =
+  reduce ?order ?tol sys (Sampling.points (Sampling.Uniform { w_max }) ~count)
+
+(* On-the-fly order control (Section V-C): consume the point sequence in
+   batches; after each batch compare the current singular values with the
+   previous ones; stop when the leading values have converged to
+   [converge_tol] relative change and the tail is below [tol].  Returns the
+   result built from the points actually consumed. *)
+let reduce_adaptive ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.02) sys
+    (pts : Sampling.point array) =
+  (* prefixes must cover the whole band: consume in bit-reversed order *)
+  let pts = Sampling.spread_order pts in
+  let n_pts = Array.length pts in
+  let rec loop consumed prev_sigma =
+    let upto = min n_pts (consumed + batch) in
+    (* rescale the prefix weights so each batch approximates the same
+       integral: otherwise the sampled Gramian (and its singular values)
+       would keep growing with the sample count instead of converging *)
+    let scale = float_of_int n_pts /. float_of_int upto in
+    let prefix =
+      Array.map
+        (fun p -> { p with Sampling.weight = p.Sampling.weight *. scale })
+        (Array.sub pts 0 upto)
+    in
+    let zw = Zmat.build sys prefix in
+    let { Svd.u; sigma; _ } = Svd.decompose zw in
+    let q = choose_order ~sigma ?order ~tol () in
+    let leading_converged =
+      match prev_sigma with
+      | None -> false
+      | Some prev ->
+          let k = min q (min (Array.length prev) (Array.length sigma)) in
+          let ok = ref (k > 0) in
+          for i = 0 to k - 1 do
+            let denom = Float.max sigma.(i) 1e-300 in
+            if Float.abs (sigma.(i) -. prev.(i)) /. denom > converge_tol then ok := false
+          done;
+          !ok
+    in
+    let tail_small =
+      let smax = Float.max sigma.(0) 1e-300 in
+      let tail = ref 0.0 in
+      Array.iteri (fun i s -> if i >= q then tail := !tail +. s) sigma;
+      !tail <= tol *. smax
+      (* require enough samples relative to the order (Section V-B: about
+         twice the model order) *)
+      && upto >= 2 * ((q + 1) / 2)
+    in
+    if upto >= n_pts || (leading_converged && tail_small) then begin
+      let basis = Mat.sub_cols u (0) (max 1 q) in
+      { rom = Dss.project_congruence sys basis; basis; singular_values = sigma; samples = upto }
+    end
+    else loop upto (Some sigma)
+  in
+  loop 0 None
+
+(* Variant of the adaptive loop using rank-revealing QR for the per-batch
+   order monitoring (Section V-C points out that the SVD has no cheap
+   update and suggests RRQR/UTV instead).  The pivoted-R diagonal
+   magnitudes stand in for the singular values while points accumulate; a
+   single SVD at the end produces the final basis and singular values. *)
+let reduce_adaptive_rrqr ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.05) sys
+    (pts : Sampling.point array) =
+  let pts = Sampling.spread_order pts in
+  let n_pts = Array.length pts in
+  let rescaled upto =
+    let scale = float_of_int n_pts /. float_of_int upto in
+    Array.map
+      (fun p -> { p with Sampling.weight = p.Sampling.weight *. scale })
+      (Array.sub pts 0 upto)
+  in
+  (* R's diagonal magnitudes are single-column norms, so their absolute
+     scale shrinks as the prefix weights are rescaled; only the profile
+     d_i / d_0 converges, hence the normalisation *)
+  let diag_magnitudes (r : Mat.t) rank =
+    let d = Array.init rank (fun i -> Float.abs (Mat.get r i i)) in
+    let d0 = if rank > 0 then Float.max d.(0) 1e-300 else 1.0 in
+    Array.map (fun x -> x /. d0) d
+  in
+  let rec loop consumed prev =
+    let upto = min n_pts (consumed + batch) in
+    let zw = Zmat.build sys (rescaled upto) in
+    let { Qr.r; rank; _ } = Qr.pivoted ~tol:1e-15 zw in
+    let d = diag_magnitudes r rank in
+    let q = choose_order ~sigma:d ?order ~tol () in
+    let converged =
+      match prev with
+      | None -> false
+      | Some p ->
+          let k = min q (min (Array.length p) (Array.length d)) in
+          let ok = ref (k > 0) in
+          for i = 0 to k - 1 do
+            let denom = Float.max d.(i) 1e-300 in
+            if Float.abs (d.(i) -. p.(i)) /. denom > converge_tol then ok := false
+          done;
+          !ok
+    in
+    if upto >= n_pts || converged then of_basis sys ~zw ?order ~tol ~samples:upto ()
+    else loop upto (Some d)
+  in
+  loop 0 None
+
+(* Singular values of the ZW matrix only (Figs. 5 and 8). *)
+let sample_singular_values sys pts = Svd.values (Zmat.build sys pts)
+
+(* Hankel-singular-value estimates.  The sampled Gramian is
+   X^ = (1/pi) (ZW)(ZW)^T (the 1/2pi of the inverse Fourier transform and
+   the factor 2 from folding the conjugate pair at -j omega into the
+   realified columns), so its eigenvalues are sigma(ZW)^2 / pi.  In the
+   paper's symmetric case the Hankel singular values are exactly the
+   eigenvalues of X (balanced: X = Y = diag(hsv)), hence the estimate. *)
+let hankel_estimates sys pts =
+  Array.map (fun s -> s *. s /. Float.pi) (sample_singular_values sys pts)

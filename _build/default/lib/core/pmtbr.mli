@@ -1,0 +1,57 @@
+(** PMTBR — Algorithm 1 of the paper.
+
+    Sample [z_i = (s_i E - A)^{-1} B] at weighted frequency points, SVD the
+    realified sample matrix [ZW], keep the dominant left singular vectors,
+    and reduce by congruence projection.  The singular values of [ZW]
+    approximate the Hankel singular values (Section III-B) and drive order
+    and error control (Sections V-B/C). *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;  (** reduced model *)
+  basis : Mat.t;  (** projection basis V, [n x q], orthonormal columns *)
+  singular_values : float array;  (** all singular values of ZW, descending *)
+  samples : int;  (** number of frequency points consumed *)
+}
+
+val choose_order : sigma:float array -> ?order:int -> ?tol:float -> unit -> int
+(** Truncation order from singular values: the smallest [q] whose tail sum
+    [sum_{i >= q} sigma_i] is at most [tol * sigma_0] (default [1e-10]),
+    capped by [order] when given. *)
+
+val of_basis : Dss.t -> zw:Mat.t -> ?order:int -> ?tol:float -> samples:int -> unit -> result
+(** Reduce with an externally assembled sample matrix (used by the variant
+    algorithms). *)
+
+val reduce : ?order:int -> ?tol:float -> Dss.t -> Sampling.point array -> result
+(** One-shot PMTBR with a fixed point set. *)
+
+val reduce_uniform : ?order:int -> ?tol:float -> Dss.t -> w_max:float -> count:int -> result
+(** Convenience: uniform sampling of [0, w_max]. *)
+
+val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
+  Dss.t -> Sampling.point array -> result
+(** On-the-fly order control (Section V-C): consume the points in
+    bit-reversed batches of [batch] (default 8) with prefix weights
+    rescaled to keep the implied integral fixed; stop when the leading
+    singular values have converged to [converge_tol] relative change
+    (default 2%) and the tail is below [tol].  [result.samples] reports how
+    many points were actually used. *)
+
+val reduce_adaptive_rrqr : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
+  Dss.t -> Sampling.point array -> result
+(** Like {!reduce_adaptive}, but monitoring convergence with a
+    rank-revealing (column-pivoted) QR per batch instead of a full SVD —
+    the cheaper order-control machinery Section V-C recommends; one SVD at
+    the end builds the final basis. *)
+
+val sample_singular_values : Dss.t -> Sampling.point array -> float array
+(** Singular values of the sample matrix only (paper Figs. 5 and 8). *)
+
+val hankel_estimates : Dss.t -> Sampling.point array -> float array
+(** Hankel-singular-value estimates [sigma(ZW)^2 / pi]: the eigenvalues of
+    the sampled Gramian [(1/pi)(ZW)(ZW)^T], which in the paper's symmetric
+    case are exactly the Hankel singular values.  Converges as the
+    quadrature does. *)

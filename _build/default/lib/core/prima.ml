@@ -1,0 +1,63 @@
+(* PRIMA (Odabasioglu-Celik-Pileggi): block-Arnoldi moment matching about a
+   single expansion point s0, followed by congruence projection, which
+   preserves passivity for RLC-structured systems.  This is the
+   moment-matching baseline of the paper's Fig. 7: the model order grows in
+   steps of the port count, one block per matched moment. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  moments : int; (* block moments matched *)
+}
+
+(* Orthogonalise [block] against the columns of [prev] (twice, for
+   stability), then orthonormalise internally; drops negligible columns. *)
+let orthogonalize_block ~(prev : Mat.t option) (block : Mat.t) =
+  let deflate b =
+    match prev with
+    | None -> b
+    | Some p ->
+        let coeffs = Mat.mul (Mat.transpose p) b in
+        Mat.sub b (Mat.mul p coeffs)
+  in
+  Qr.orth ~tol:1e-10 (deflate (deflate block))
+
+(* [reduce sys ~s0 ~moments] matches [moments] block moments at expansion
+   point s0 (rad/s, real positive).  The reduced order is at most
+   moments * inputs. *)
+let reduce sys ~(s0 : float) ~moments =
+  assert (moments >= 1 && s0 > 0.0);
+  let f = Dss.factor_shifted sys { Complex.re = s0; im = 0.0 } in
+  let real_solve (rhs : Mat.t) =
+    let cols = Dss.solve_factored f rhs in
+    Mat.init rhs.Mat.rows (Array.length cols) (fun i j -> cols.(j).(i).Complex.re)
+  in
+  let r0 = real_solve (Dss.b_matrix sys) in
+  let q0 = Qr.orth ~tol:1e-10 r0 in
+  let rec build blocks last k =
+    if k >= moments then blocks
+    else begin
+      let prev = List.fold_left Mat.hcat (List.hd blocks) (List.tl blocks) in
+      (* next block: (s0 E - A)^{-1} E * last *)
+      let next = real_solve (Dss.apply_e sys last) in
+      let q = orthogonalize_block ~prev:(Some prev) next in
+      if q.Mat.cols = 0 then blocks else build (blocks @ [ q ]) q (k + 1)
+    end
+  in
+  let blocks = build [ q0 ] q0 1 in
+  let basis = List.fold_left Mat.hcat (List.hd blocks) (List.tl blocks) in
+  { rom = Dss.project_congruence sys basis; basis; moments }
+
+(* Reduce to (approximately) a target order by matching enough blocks and
+   truncating the basis to the first [order] columns. *)
+let reduce_to_order sys ~s0 ~order =
+  let p = Dss.inputs sys in
+  let moments = max 1 ((order + p - 1) / p) in
+  let r = reduce sys ~s0 ~moments in
+  if r.basis.Mat.cols <= order then r
+  else
+    let basis = Mat.sub_cols r.basis 0 order in
+    { rom = Dss.project_congruence sys basis; basis; moments }

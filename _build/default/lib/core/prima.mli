@@ -1,0 +1,23 @@
+(** PRIMA (Odabasioglu-Celik-Pileggi): block-Arnoldi moment matching about
+    a single expansion point followed by congruence projection, which
+    preserves passivity for RLC-structured systems.  The moment-matching
+    baseline of the paper's Fig. 7: model order grows in steps of the port
+    count, one block per matched moment. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  moments : int;  (** block moments matched *)
+}
+
+val reduce : Dss.t -> s0:float -> moments:int -> result
+(** Match [moments] block moments at the (real, positive) expansion point
+    [s0] rad/s; the reduced order is at most [moments * inputs], less if
+    the Krylov blocks deflate. *)
+
+val reduce_to_order : Dss.t -> s0:float -> order:int -> result
+(** Match enough blocks to reach [order], truncating the basis to its first
+    [order] columns if it overshoots. *)

@@ -1,0 +1,59 @@
+(* Time-domain sampled Gramian reduction (proper orthogonal decomposition,
+   POD).  The paper's statistical interpretation (Section IV-A) views the
+   Gramian as the covariance of the state under the assumed input process;
+   here the covariance is estimated from state snapshots of an actual
+   training simulation instead of from frequency samples.  This is the
+   time-domain twin of PMTBR: the same SVD-and-project machinery, with the
+   sample matrix drawn from x(t_k) rather than (s_k E - A)^{-1} B, and the
+   input correlation captured implicitly by simulating the training
+   inputs. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  singular_values : float array; (* of the weighted snapshot matrix *)
+  snapshots : int;
+}
+
+(* [reduce sys ~u ~t1 ~dt ~snapshots] simulates from rest with the training
+   input [u] over [0, t1], keeps [snapshots] equispaced state snapshots,
+   and projects onto their dominant left singular subspace. *)
+let reduce ?order ?tol sys ~(u : float -> float array) ~t1 ~dt ~snapshots =
+  assert (snapshots >= 2);
+  let res = Tdsim.simulate ~keep_states:true sys ~t0:0.0 ~t1 ~dt ~u in
+  let states =
+    match res.Tdsim.states with
+    | Some s -> s
+    | None -> assert false
+  in
+  let steps = Array.length res.Tdsim.times in
+  let stride = max 1 (steps / snapshots) in
+  let cols = ref [] in
+  let k = ref (steps - 1) in
+  while !k >= 0 do
+    cols := Mat.col states !k :: !cols;
+    k := !k - stride
+  done;
+  let cols = Array.of_list !cols in
+  let n = Dss.order sys in
+  (* snapshot matrix weighted by sqrt(dt_snapshot): a quadrature view of
+     the empirical covariance integral *)
+  let w = sqrt (dt *. float_of_int stride) in
+  let x = Mat.init n (Array.length cols) (fun i j -> w *. cols.(j).(i)) in
+  let { Svd.u = uu; sigma; _ } = Svd.decompose x in
+  let q = Pmtbr.choose_order ~sigma ?order ?tol () in
+  let q =
+    let smax = Float.max sigma.(0) 1e-300 in
+    let rec cap k = if k <= 1 then 1 else if sigma.(k - 1) > 1e-14 *. smax then k else cap (k - 1) in
+    cap q
+  in
+  let basis = Mat.sub_cols uu 0 q in
+  {
+    rom = Dss.project_congruence sys basis;
+    basis;
+    singular_values = sigma;
+    snapshots = Array.length cols;
+  }

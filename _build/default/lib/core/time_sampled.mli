@@ -1,0 +1,22 @@
+(** Time-domain sampled Gramian reduction (proper orthogonal
+    decomposition).  The paper's statistical interpretation (Section IV-A)
+    views the Gramian as the covariance of the state under the assumed
+    input process; here that covariance is estimated from state snapshots
+    of a training simulation — the time-domain twin of PMTBR, with input
+    correlation captured implicitly by simulating the training inputs. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  basis : Mat.t;
+  singular_values : float array;  (** of the weighted snapshot matrix *)
+  snapshots : int;
+}
+
+val reduce : ?order:int -> ?tol:float -> Dss.t -> u:(float -> float array) -> t1:float ->
+  dt:float -> snapshots:int -> result
+(** Simulate from rest with the training input over [0, t1] at step [dt],
+    keep about [snapshots] equispaced state snapshots, and project onto
+    their dominant left singular subspace. *)

@@ -1,0 +1,24 @@
+(* Two-step Krylov + TBR reduction (the hybrid scheme of the paper's
+   references [5], [13], used as the point of comparison in Section VI-B):
+   a cheap moment-matching projection brings the model to an intermediate
+   order for which dense balanced truncation is affordable, then exact TBR
+   compresses it to the final size.
+
+   PMTBR subsumes this pipeline in one pass; the module exists as a
+   baseline so the claim can be measured. *)
+
+open Pmtbr_lti
+
+type result = {
+  rom : Dss.t;
+  intermediate_order : int; (* order after the Krylov stage *)
+  hsv : float array; (* Hankel singular values of the intermediate model *)
+}
+
+(* [reduce sys ~s0 ~intermediate ~order] runs PRIMA to [intermediate]
+   states (congruence, passivity-friendly), then TBR down to [order]. *)
+let reduce sys ~s0 ~intermediate ?order ?tol () =
+  let stage1 = Prima.reduce_to_order sys ~s0 ~order:intermediate in
+  let mid = stage1.Prima.rom in
+  let t = Tbr.reduce_dss ?order ?tol mid in
+  { rom = t.Tbr.rom; intermediate_order = Dss.order mid; hsv = t.Tbr.hsv }

@@ -1,0 +1,63 @@
+(* Assembly of the weighted, realified sample matrix Z W.
+
+   Each frequency point s_k contributes the columns of
+   sqrt(w_k) * (s_k E - A)^{-1} B.  Complex samples at +j w also stand for
+   their conjugates at -j w (step 5 of Algorithm 1); since
+   span{z, z*} = span{Re z, Im z} over the reals, we store the real and
+   imaginary parts as two real columns instead.  Points with (numerically)
+   zero imaginary part contribute only their real columns. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+(* Real column block for one sample point. *)
+let realify_block ~(weight : float) (cols : Complex.t array array) ~(is_real : bool) =
+  let p = Array.length cols in
+  assert (p > 0);
+  let n = Array.length cols.(0) in
+  let w = sqrt (Float.max 0.0 weight) in
+  if is_real then Mat.init n p (fun i j -> w *. cols.(j).(i).Complex.re)
+  else
+    (* conjugate pair weight: both half-axes contribute, fold the factor 2
+       into the weight (the constant scaling is irrelevant to the subspace
+       and uniform across columns) *)
+    Mat.init n (2 * p) (fun i j ->
+        let z = cols.(j / 2).(i) in
+        w *. (if j mod 2 = 0 then z.Complex.re else z.Complex.im))
+
+let is_effectively_real (s : Complex.t) =
+  Float.abs s.Complex.im <= 1e-300 +. (1e-12 *. Float.abs s.Complex.re)
+
+(* Columns for one point: solve (sE - A) Z = R. *)
+let point_block sys ~(rhs : Mat.t) (p : Sampling.point) =
+  let cols = Dss.shifted_solve_rhs sys p.Sampling.s rhs in
+  realify_block ~weight:p.Sampling.weight cols ~is_real:(is_effectively_real p.Sampling.s)
+
+(* Full ZW matrix for a point set, with B as the right-hand side. *)
+let build sys (pts : Sampling.point array) =
+  let rhs = Dss.b_matrix sys in
+  let blocks = Array.map (point_block sys ~rhs) pts in
+  match Array.to_list blocks with
+  | [] -> invalid_arg "Zmat.build: no sample points"
+  | first :: rest -> List.fold_left Mat.hcat first rest
+
+(* Same, but with an arbitrary right-hand side per point (used by the
+   input-correlated variant where each point gets its own input draw). *)
+let build_per_point sys (pts_rhs : (Sampling.point * Mat.t) list) =
+  let blocks = List.map (fun (p, rhs) -> point_block sys ~rhs p) pts_rhs in
+  match blocks with
+  | [] -> invalid_arg "Zmat.build_per_point: no sample points"
+  | first :: rest -> List.fold_left Mat.hcat first rest
+
+(* Observability-side samples (sE - A)^{-H} C^T for the cross-Gramian
+   method. *)
+let point_block_hermitian sys ~(rhs : Mat.t) (p : Sampling.point) =
+  let cols = Dss.shifted_solve_hermitian sys p.Sampling.s rhs in
+  realify_block ~weight:p.Sampling.weight cols ~is_real:(is_effectively_real p.Sampling.s)
+
+let build_left sys (pts : Sampling.point array) =
+  let rhs = Mat.transpose (Dss.c_matrix sys) in
+  let blocks = Array.map (point_block_hermitian sys ~rhs) pts in
+  match Array.to_list blocks with
+  | [] -> invalid_arg "Zmat.build_left: no sample points"
+  | first :: rest -> List.fold_left Mat.hcat first rest

@@ -1,0 +1,1 @@
+lib/la/chol.ml: Array Float Mat

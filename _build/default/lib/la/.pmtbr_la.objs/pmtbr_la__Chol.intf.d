@@ -1,0 +1,1 @@
+lib/la/chol.mli: Mat

@@ -1,0 +1,1 @@
+lib/la/cmat.ml: Complex Gen_mat Mat Scalar

@@ -1,0 +1,1 @@
+lib/la/cmat.mli: Complex Gen_mat Mat

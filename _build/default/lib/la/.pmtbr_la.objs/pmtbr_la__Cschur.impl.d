@@ -1,0 +1,1 @@
+lib/la/cschur.ml: Array Cmat Complex Cvec Mat Scalar

@@ -1,0 +1,1 @@
+lib/la/cschur.mli: Cmat Complex Mat

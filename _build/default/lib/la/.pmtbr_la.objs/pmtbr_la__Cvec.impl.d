@@ -1,0 +1,1 @@
+lib/la/cvec.ml: Array Complex Float

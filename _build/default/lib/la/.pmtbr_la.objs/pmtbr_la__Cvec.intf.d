@@ -1,0 +1,1 @@
+lib/la/cvec.mli: Complex

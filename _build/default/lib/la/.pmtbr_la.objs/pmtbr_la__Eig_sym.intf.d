@@ -1,0 +1,1 @@
+lib/la/eig_sym.mli: Mat

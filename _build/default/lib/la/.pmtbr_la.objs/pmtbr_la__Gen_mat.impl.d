@@ -1,0 +1,1 @@
+lib/la/gen_mat.ml: Array Float Format Scalar

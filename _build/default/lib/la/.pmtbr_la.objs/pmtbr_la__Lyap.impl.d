@@ -1,0 +1,1 @@
+lib/la/lyap.ml: Array Cmat Complex Cschur Eig_sym Float Mat

@@ -1,0 +1,1 @@
+lib/la/lyap.mli: Mat

@@ -1,0 +1,1 @@
+lib/la/mat.ml: Array Float Gen_mat Int64 Scalar

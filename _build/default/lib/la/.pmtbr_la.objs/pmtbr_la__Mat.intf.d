@@ -1,0 +1,1 @@
+lib/la/mat.mli: Gen_mat

@@ -1,0 +1,1 @@
+lib/la/qr.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/la/qr.mli: Mat

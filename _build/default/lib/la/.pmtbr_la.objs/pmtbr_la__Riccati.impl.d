@@ -1,0 +1,1 @@
+lib/la/riccati.ml: Float Lyap Mat

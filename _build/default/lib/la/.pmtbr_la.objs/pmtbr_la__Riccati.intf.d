@@ -1,0 +1,1 @@
+lib/la/riccati.mli: Mat

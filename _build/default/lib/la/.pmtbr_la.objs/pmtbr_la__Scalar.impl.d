@@ -1,0 +1,1 @@
+lib/la/scalar.ml: Complex Float Format

@@ -1,0 +1,1 @@
+lib/la/subspace.ml: Array Float Mat Qr Svd Vec

@@ -1,0 +1,1 @@
+lib/la/subspace.mli: Mat

@@ -1,0 +1,1 @@
+lib/la/svd.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/la/svd.mli: Mat

@@ -1,0 +1,1 @@
+lib/la/vec.ml: Array Float Format

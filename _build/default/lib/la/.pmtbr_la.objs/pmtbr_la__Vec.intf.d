@@ -1,0 +1,1 @@
+lib/la/vec.mli: Format

@@ -1,0 +1,112 @@
+(* Cholesky factorisations of symmetric positive (semi)definite matrices. *)
+
+exception Not_positive_definite of int
+
+(* [factor a] returns lower-triangular l with a = l * l^T; raises
+   [Not_positive_definite] on a non-PD input. *)
+let factor (a : Mat.t) =
+  assert (a.Mat.rows = a.Mat.cols);
+  let n = a.Mat.rows in
+  let l = Mat.create n n in
+  for j = 0 to n - 1 do
+    let d = ref (Mat.get a j j) in
+    for k = 0 to j - 1 do
+      let v = Mat.get l j k in
+      d := !d -. (v *. v)
+    done;
+    if !d <= 0.0 then raise (Not_positive_definite j);
+    let djj = sqrt !d in
+    Mat.set l j j djj;
+    for i = j + 1 to n - 1 do
+      let s = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      Mat.set l i j (!s /. djj)
+    done
+  done;
+  l
+
+(* Pivoted Cholesky for PSD matrices: returns (l, rank) with
+   a ~= l * l^T, l of shape n x rank.  Stops when the largest remaining
+   diagonal falls below [tol] times the initial largest diagonal. *)
+let psd_factor ?(tol = 1e-14) (a : Mat.t) =
+  assert (a.Mat.rows = a.Mat.cols);
+  let n = a.Mat.rows in
+  let w = Mat.symmetrize a in
+  let piv = Array.init n (fun i -> i) in
+  let l = Mat.create n n in
+  let d0 = ref 0.0 in
+  for i = 0 to n - 1 do
+    d0 := Float.max !d0 (Mat.get w i i)
+  done;
+  let rank = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       (* choose the pivot: largest remaining diagonal *)
+       let best = ref k in
+       for i = k + 1 to n - 1 do
+         if Mat.get w piv.(i) piv.(i) > Mat.get w piv.(!best) piv.(!best) then best := i
+       done;
+       let t = piv.(k) in
+       piv.(k) <- piv.(!best);
+       piv.(!best) <- t;
+       (* also permute computed rows of l *)
+       for c = 0 to k - 1 do
+         let tmp = Mat.get l k c in
+         Mat.set l k c (Mat.get l !best c);
+         Mat.set l !best c tmp
+       done;
+       ignore t;
+       let p = piv.(k) in
+       let dk = Mat.get w p p in
+       if dk <= tol *. Float.max 1e-300 !d0 then raise Exit;
+       incr rank;
+       let djj = sqrt dk in
+       Mat.set l k k djj;
+       for i = k + 1 to n - 1 do
+         let pi = piv.(i) in
+         let s = ref (Mat.get w pi p) in
+         for c = 0 to k - 1 do
+           s := !s -. (Mat.get l i c *. Mat.get l k c)
+         done;
+         Mat.set l i k (!s /. djj)
+       done;
+       (* update remaining diagonal *)
+       for i = k + 1 to n - 1 do
+         let pi = piv.(i) in
+         let lik = Mat.get l i k in
+         Mat.set w pi pi (Mat.get w pi pi -. (lik *. lik))
+       done
+     done
+   with Exit -> ());
+  let r = !rank in
+  (* undo the row permutation: row piv.(i) of the result is row i of l *)
+  let out = Mat.create n r in
+  for i = 0 to n - 1 do
+    for j = 0 to r - 1 do
+      Mat.set out piv.(i) j (Mat.get l i j)
+    done
+  done;
+  (out, r)
+
+(* Solve a x = b given l = factor a. *)
+let solve_vec l b =
+  let n = l.Mat.rows in
+  assert (Array.length b = n);
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get l i j *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.get l i i
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get l j i *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.get l i i
+  done;
+  y

@@ -1,0 +1,18 @@
+(** Cholesky factorisations of symmetric positive (semi)definite matrices. *)
+
+exception Not_positive_definite of int
+(** Raised by {!factor} with the index of the failing pivot. *)
+
+val factor : Mat.t -> Mat.t
+(** [factor a] is the lower-triangular [l] with [a = l * l^T].
+    @raise Not_positive_definite if a pivot is non-positive. *)
+
+val psd_factor : ?tol:float -> Mat.t -> Mat.t * int
+(** Diagonally pivoted Cholesky for positive-semidefinite matrices:
+    [psd_factor a] is [(l, rank)] with [a ~= l1 * l1^T] where [l1] is the
+    first [rank] columns of [l].  Stops when the largest remaining diagonal
+    falls below [tol] (default [1e-14]) times the initial largest
+    diagonal. *)
+
+val solve_vec : Mat.t -> float array -> float array
+(** [solve_vec l b] solves [a x = b] given [l = factor a]. *)

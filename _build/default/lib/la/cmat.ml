@@ -1,0 +1,25 @@
+(* Dense complex matrices plus conversions with the real world. *)
+
+include Gen_mat.Make (Scalar.Cx)
+
+let of_mat (m : Mat.t) = init m.Mat.rows m.Mat.cols (fun i j -> { Complex.re = Mat.get m i j; im = 0.0 })
+
+let re (m : t) = Mat.init m.rows m.cols (fun i j -> (get m i j).Complex.re)
+let im (m : t) = Mat.init m.rows m.cols (fun i j -> (get m i j).Complex.im)
+
+(* [a + s*b] for real matrices a, b and complex s: the shifted-pencil
+   assembly used when forming (sE - A). *)
+let axpby_real ~(alpha : Complex.t) (a : Mat.t) ~(beta : Complex.t) (b : Mat.t) =
+  assert (Mat.dims a = Mat.dims b);
+  init a.Mat.rows a.Mat.cols (fun i j ->
+      Complex.add
+        (Scalar.Cx.scale (Mat.get a i j) alpha)
+        (Scalar.Cx.scale (Mat.get b i j) beta))
+
+(* Interleave real and imaginary parts of each column: the real matrix
+   [Re z_1, Im z_1, Re z_2, ...].  Spans the same real subspace as
+   [z_1, z_1^*, ...]; used to realify PMTBR sample matrices. *)
+let realify_columns (m : t) =
+  Mat.init m.rows (2 * m.cols) (fun i j ->
+      let z = get m i (j / 2) in
+      if j mod 2 = 0 then z.Complex.re else z.Complex.im)

@@ -1,0 +1,30 @@
+(** Complex Schur decomposition [A = Q T Q^H] by Householder-Hessenberg
+    reduction and Wilkinson-shifted QR iteration.
+
+    Working in complex arithmetic even for real inputs avoids the 2x2-block
+    bookkeeping of the real Schur form; the Lyapunov/Sylvester solvers in
+    {!Lyap} then reduce to triangular back-substitutions. *)
+
+exception No_convergence
+(** Raised if the QR iteration exceeds its iteration budget (does not occur
+    on the matrix classes exercised here; present as a safety net). *)
+
+type t = {
+  q : Cmat.t;  (** unitary *)
+  tm : Cmat.t;  (** upper triangular, eigenvalues on the diagonal *)
+}
+
+val decompose : Cmat.t -> t
+(** Schur decomposition of a square complex matrix. *)
+
+val of_real : Mat.t -> t
+(** [of_real a] is [decompose] of the complexified [a]. *)
+
+val eigenvalues : t -> Complex.t array
+(** Diagonal of the triangular factor (unsorted). *)
+
+val eigenvector : t -> int -> Complex.t array
+(** [eigenvector s i] is a unit eigenvector for the eigenvalue at diagonal
+    position [i], obtained by triangular back-substitution and mapped back
+    through [Q].  Nearly repeated eigenvalues are handled by a small
+    regularising perturbation. *)

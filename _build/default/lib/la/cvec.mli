@@ -1,0 +1,34 @@
+(** Helpers on [Complex.t array] vectors. *)
+
+val zeros : int -> Complex.t array
+(** [zeros n] is the complex zero vector of dimension [n]. *)
+
+val of_real : float array -> Complex.t array
+(** Embed a real vector. *)
+
+val re : Complex.t array -> float array
+(** Real parts. *)
+
+val im : Complex.t array -> float array
+(** Imaginary parts. *)
+
+val dot : Complex.t array -> Complex.t array -> Complex.t
+(** Hermitian inner product, conjugating the {e first} argument. *)
+
+val norm2 : Complex.t array -> float
+(** Euclidean norm. *)
+
+val scale : Complex.t -> Complex.t array -> Complex.t array
+(** Scalar multiple. *)
+
+val add : Complex.t array -> Complex.t array -> Complex.t array
+(** Elementwise sum. *)
+
+val sub : Complex.t array -> Complex.t array -> Complex.t array
+(** Elementwise difference. *)
+
+val axpy : Complex.t -> Complex.t array -> Complex.t array -> unit
+(** [axpy a x y] performs [y <- y + a*x] in place. *)
+
+val max_abs : Complex.t array -> float
+(** Largest modulus. *)

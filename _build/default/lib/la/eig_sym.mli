@@ -1,0 +1,18 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method. *)
+
+val decompose : Mat.t -> float array * Mat.t
+(** [decompose a] for symmetric [a] returns [(values, vectors)] with
+    [a = vectors * diag values * vectors^T], eigenvalues sorted descending
+    and the columns of [vectors] the matching orthonormal eigenvectors.
+    The input is symmetrised first, so slightly asymmetric inputs (from
+    accumulated round-off) are accepted. *)
+
+val eigenvalues : Mat.t -> float array
+(** Eigenvalues only, descending. *)
+
+val psd_factor : ?tol:float -> Mat.t -> Mat.t
+(** Factor of a symmetric positive-semidefinite matrix: [psd_factor x] is a
+    matrix [l] of shape [n x rank] with [x ~= l * l^T].  Eigenvalues below
+    [tol] (default [1e-14]) relative to the largest — including the small
+    negative noise typical of Lyapunov solutions — are dropped.  Used to
+    factor Gramians for square-root balanced truncation. *)

@@ -1,0 +1,328 @@
+(* Dense row-major matrices over an arbitrary scalar field.  The real and
+   complex matrix modules ([Mat], [Cmat]) are instantiations of this functor,
+   so storage layout, BLAS-level kernels and LU factorisation are shared. *)
+
+module type S = sig
+  type elt
+  type t = { rows : int; cols : int; data : elt array }
+
+  val create : int -> int -> t
+  val init : int -> int -> (int -> int -> elt) -> t
+  val identity : int -> t
+  val dims : t -> int * int
+  val get : t -> int -> int -> elt
+  val set : t -> int -> int -> elt -> unit
+  val update : t -> int -> int -> (elt -> elt) -> unit
+  val copy : t -> t
+  val of_arrays : elt array array -> t
+  val to_arrays : t -> elt array array
+  val col : t -> int -> elt array
+  val row : t -> int -> elt array
+  val set_col : t -> int -> elt array -> unit
+  val set_row : t -> int -> elt array -> unit
+  val sub_cols : t -> int -> int -> t
+  val sub_matrix : t -> row:int -> col:int -> rows:int -> cols:int -> t
+  val hcat : t -> t -> t
+  val vcat : t -> t -> t
+  val transpose : t -> t
+  val conj_transpose : t -> t
+  val map : (elt -> elt) -> t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : float -> t -> t
+  val scale_elt : elt -> t -> t
+  val mul : t -> t -> t
+  val mv : t -> elt array -> elt array
+  val mv_transposed : t -> elt array -> elt array
+  val frobenius : t -> float
+  val max_abs : t -> float
+  val swap_rows : t -> int -> int -> unit
+
+  type lu
+
+  val lu : t -> lu
+  val lu_solve_vec : lu -> elt array -> elt array
+  val lu_solve : lu -> t -> t
+  val solve : t -> t -> t
+  val solve_vec : t -> elt array -> elt array
+  val inverse : t -> t
+  val det : t -> elt
+  val trace : t -> elt
+  val norm_1 : t -> float
+  val cond_1 : t -> float
+  val pp : Format.formatter -> t -> unit
+
+  exception Singular of int
+end
+
+module Make (K : Scalar.S) : S with type elt = K.t = struct
+  type elt = K.t
+  type t = { rows : int; cols : int; data : elt array }
+
+  exception Singular of int
+
+  let create rows cols =
+    assert (rows >= 0 && cols >= 0);
+    { rows; cols; data = Array.make (rows * cols) K.zero }
+
+  let init rows cols f =
+    let data = Array.make (rows * cols) K.zero in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        data.((i * cols) + j) <- f i j
+      done
+    done;
+    { rows; cols; data }
+
+  let identity n = init n n (fun i j -> if i = j then K.one else K.zero)
+  let dims m = (m.rows, m.cols)
+  let get m i j = m.data.((i * m.cols) + j)
+  let set m i j v = m.data.((i * m.cols) + j) <- v
+
+  let update m i j f =
+    let k = (i * m.cols) + j in
+    m.data.(k) <- f m.data.(k)
+
+  let copy m = { m with data = Array.copy m.data }
+
+  let of_arrays rows_arr =
+    let rows = Array.length rows_arr in
+    let cols = if rows = 0 then 0 else Array.length rows_arr.(0) in
+    Array.iter (fun r -> assert (Array.length r = cols)) rows_arr;
+    init rows cols (fun i j -> rows_arr.(i).(j))
+
+  let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
+  let col m j = Array.init m.rows (fun i -> get m i j)
+  let row m i = Array.sub m.data (i * m.cols) m.cols
+
+  let set_col m j v =
+    assert (Array.length v = m.rows);
+    for i = 0 to m.rows - 1 do
+      set m i j v.(i)
+    done
+
+  let set_row m i v =
+    assert (Array.length v = m.cols);
+    Array.blit v 0 m.data (i * m.cols) m.cols
+
+  let sub_matrix m ~row ~col ~rows ~cols =
+    assert (row >= 0 && col >= 0 && row + rows <= m.rows && col + cols <= m.cols);
+    init rows cols (fun i j -> get m (row + i) (col + j))
+
+  let sub_cols m j0 ncols = sub_matrix m ~row:0 ~col:j0 ~rows:m.rows ~cols:ncols
+
+  let hcat a b =
+    assert (a.rows = b.rows);
+    init a.rows (a.cols + b.cols) (fun i j ->
+        if j < a.cols then get a i j else get b i (j - a.cols))
+
+  let vcat a b =
+    assert (a.cols = b.cols);
+    init (a.rows + b.rows) a.cols (fun i j ->
+        if i < a.rows then get a i j else get b (i - a.rows) j)
+
+  let transpose m = init m.cols m.rows (fun i j -> get m j i)
+  let conj_transpose m = init m.cols m.rows (fun i j -> K.conj (get m j i))
+  let map f m = { m with data = Array.map f m.data }
+
+  let add a b =
+    assert (a.rows = b.rows && a.cols = b.cols);
+    { a with data = Array.init (Array.length a.data) (fun k -> K.add a.data.(k) b.data.(k)) }
+
+  let sub a b =
+    assert (a.rows = b.rows && a.cols = b.cols);
+    { a with data = Array.init (Array.length a.data) (fun k -> K.sub a.data.(k) b.data.(k)) }
+
+  let scale s m = map (K.scale s) m
+  let scale_elt s m = map (K.mul s) m
+
+  (* Cache-friendly ikj-order GEMM. *)
+  let mul a b =
+    assert (a.cols = b.rows);
+    let c = create a.rows b.cols in
+    let n = b.cols in
+    for i = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        let aik = get a i k in
+        if not (K.is_zero aik) then begin
+          let brow = k * n and crow = i * n in
+          for j = 0 to n - 1 do
+            c.data.(crow + j) <- K.add c.data.(crow + j) (K.mul aik b.data.(brow + j))
+          done
+        end
+      done
+    done;
+    c
+
+  let mv m x =
+    assert (Array.length x = m.cols);
+    Array.init m.rows (fun i ->
+        let acc = ref K.zero in
+        let base = i * m.cols in
+        for j = 0 to m.cols - 1 do
+          acc := K.add !acc (K.mul m.data.(base + j) x.(j))
+        done;
+        !acc)
+
+  let mv_transposed m x =
+    assert (Array.length x = m.rows);
+    let y = Array.make m.cols K.zero in
+    for i = 0 to m.rows - 1 do
+      let xi = x.(i) in
+      if not (K.is_zero xi) then begin
+        let base = i * m.cols in
+        for j = 0 to m.cols - 1 do
+          y.(j) <- K.add y.(j) (K.mul m.data.(base + j) xi)
+        done
+      end
+    done;
+    y
+
+  let frobenius m =
+    let acc = ref 0.0 in
+    Array.iter (fun v -> let a = K.abs v in acc := !acc +. (a *. a)) m.data;
+    sqrt !acc
+
+  let max_abs m = Array.fold_left (fun acc v -> Float.max acc (K.abs v)) 0.0 m.data
+
+  let swap_rows m i j =
+    if i <> j then
+      for k = 0 to m.cols - 1 do
+        let t = get m i k in
+        set m i k (get m j k);
+        set m j k t
+      done
+
+  (* LU with partial pivoting, stored packed: L strictly below the diagonal
+     (unit diagonal implicit), U on and above. *)
+  type lu = { lu_mat : t; perm : int array }
+
+  let lu a =
+    assert (a.rows = a.cols);
+    let n = a.rows in
+    let m = copy a in
+    let perm = Array.init n (fun i -> i) in
+    for k = 0 to n - 1 do
+      let piv = ref k and pmax = ref (K.abs (get m k k)) in
+      for i = k + 1 to n - 1 do
+        let v = K.abs (get m i k) in
+        if v > !pmax then begin piv := i; pmax := v end
+      done;
+      if !pmax = 0.0 then raise (Singular k);
+      if !piv <> k then begin
+        swap_rows m k !piv;
+        let t = perm.(k) in
+        perm.(k) <- perm.(!piv);
+        perm.(!piv) <- t
+      end;
+      let dkk = get m k k in
+      for i = k + 1 to n - 1 do
+        let lik = K.div (get m i k) dkk in
+        set m i k lik;
+        if not (K.is_zero lik) then begin
+          let ibase = i * n and kbase = k * n in
+          for j = k + 1 to n - 1 do
+            m.data.(ibase + j) <- K.sub m.data.(ibase + j) (K.mul lik m.data.(kbase + j))
+          done
+        end
+      done
+    done;
+    { lu_mat = m; perm }
+
+  let lu_solve_vec { lu_mat = m; perm } b =
+    let n = m.rows in
+    assert (Array.length b = n);
+    let y = Array.init n (fun i -> b.(perm.(i))) in
+    for i = 1 to n - 1 do
+      let acc = ref y.(i) in
+      for j = 0 to i - 1 do
+        acc := K.sub !acc (K.mul (get m i j) y.(j))
+      done;
+      y.(i) <- !acc
+    done;
+    for i = n - 1 downto 0 do
+      let acc = ref y.(i) in
+      for j = i + 1 to n - 1 do
+        acc := K.sub !acc (K.mul (get m i j) y.(j))
+      done;
+      y.(i) <- K.div !acc (get m i i)
+    done;
+    y
+
+  let lu_solve f b =
+    let x = create b.rows b.cols in
+    for j = 0 to b.cols - 1 do
+      set_col x j (lu_solve_vec f (col b j))
+    done;
+    x
+
+  let solve a b = lu_solve (lu a) b
+  let solve_vec a b = lu_solve_vec (lu a) b
+  let inverse a = solve a (identity a.rows)
+
+  (* Determinant from the LU factors: product of U's diagonal times the
+     sign of the row permutation. *)
+  let det a =
+    match lu a with
+    | { lu_mat; perm } ->
+        let n = lu_mat.rows in
+        let prod = ref K.one in
+        for i = 0 to n - 1 do
+          prod := K.mul !prod (get lu_mat i i)
+        done;
+        (* permutation parity by cycle counting *)
+        let seen = Array.make n false in
+        let swaps = ref 0 in
+        for i = 0 to n - 1 do
+          if not seen.(i) then begin
+            let j = ref i and len = ref 0 in
+            while not seen.(!j) do
+              seen.(!j) <- true;
+              j := perm.(!j);
+              incr len
+            done;
+            swaps := !swaps + (!len - 1)
+          end
+        done;
+        if !swaps land 1 = 1 then K.neg !prod else !prod
+    | exception Singular _ -> K.zero
+
+  let trace a =
+    assert (a.rows = a.cols);
+    let acc = ref K.zero in
+    for i = 0 to a.rows - 1 do
+      acc := K.add !acc (get a i i)
+    done;
+    !acc
+
+  (* Maximum column sum of moduli. *)
+  let norm_1 a =
+    let worst = ref 0.0 in
+    for j = 0 to a.cols - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to a.rows - 1 do
+        acc := !acc +. K.abs (get a i j)
+      done;
+      worst := Float.max !worst !acc
+    done;
+    !worst
+
+  (* 1-norm condition number via the explicit inverse: exact (not an
+     estimate), adequate at the dense sizes used here. *)
+  let cond_1 a =
+    match inverse a with
+    | ainv -> norm_1 a *. norm_1 ainv
+    | exception Singular _ -> Float.infinity
+
+  let pp ppf m =
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to m.rows - 1 do
+      Format.fprintf ppf "@[<h>";
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Format.fprintf ppf "  ";
+        K.pp ppf (get m i j)
+      done;
+      Format.fprintf ppf "@]@,"
+    done;
+    Format.fprintf ppf "@]"
+end

@@ -1,0 +1,58 @@
+(* Dense real matrices: the [Gen_mat] functor instantiated at floats, plus
+   real-specific conveniences. *)
+
+include Gen_mat.Make (Scalar.Float)
+
+let of_fun = init
+let diag v = init (Array.length v) (Array.length v) (fun i j -> if i = j then v.(i) else 0.0)
+let diagonal m = Array.init (min m.rows m.cols) (fun i -> get m i i)
+
+let symmetrize m =
+  assert (m.rows = m.cols);
+  init m.rows m.cols (fun i j -> 0.5 *. (get m i j +. get m j i))
+
+let is_symmetric ?(tol = 1e-12) m =
+  m.rows = m.cols
+  &&
+  let scale = Float.max 1.0 (max_abs m) in
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if Float.abs (get m i j -. get m j i) > tol *. scale then ok := false
+    done
+  done;
+  !ok
+
+(* A^T * A without forming the transpose. *)
+let gram m =
+  let g = create m.cols m.cols in
+  for k = 0 to m.rows - 1 do
+    let base = k * m.cols in
+    for i = 0 to m.cols - 1 do
+      let aki = m.data.(base + i) in
+      if aki <> 0.0 then
+        for j = i to m.cols - 1 do
+          let v = get g i j +. (aki *. m.data.(base + j)) in
+          set g i j v
+        done
+    done
+  done;
+  for i = 0 to m.cols - 1 do
+    for j = 0 to i - 1 do
+      set g i j (get g j i)
+    done
+  done;
+  g
+
+let random ?(seed = 1) rows cols =
+  let state = ref (Int64.of_int (seed + 0x9e3779b9)) in
+  let next () =
+    (* splitmix64 step, local to keep [Mat] self-contained for tests *)
+    state := Int64.add !state 0x9e3779b97f4a7c15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+  in
+  init rows cols (fun _ _ -> (2.0 *. next ()) -. 1.0)

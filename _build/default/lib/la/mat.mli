@@ -1,0 +1,30 @@
+(** Dense real matrices (row-major), plus real-specific conveniences.
+
+    All dense-matrix operations shared with the complex instantiation —
+    construction, slicing, BLAS-level kernels, LU factorisation — come from
+    the {!Gen_mat} functor; see {!Gen_mat.S} for their documentation. *)
+
+include Gen_mat.S with type elt = float
+
+val of_fun : int -> int -> (int -> int -> float) -> t
+(** Alias of [init]. *)
+
+val diag : float array -> t
+(** Square diagonal matrix with the given diagonal. *)
+
+val diagonal : t -> float array
+(** The main diagonal (length [min rows cols]). *)
+
+val symmetrize : t -> t
+(** [(a + a^T) / 2] of a square matrix. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+(** Whether [a] is square and symmetric up to [tol] relative to its largest
+    entry (default [1e-12]). *)
+
+val gram : t -> t
+(** [gram a] is [a^T * a], computed without forming the transpose. *)
+
+val random : ?seed:int -> int -> int -> t
+(** Deterministic pseudo-random matrix with entries in [(-1, 1)]; the same
+    [seed] always yields the same matrix. *)

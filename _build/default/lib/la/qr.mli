@@ -1,0 +1,26 @@
+(** Householder QR factorisations of dense real matrices. *)
+
+type pivoted = {
+  q : Mat.t;  (** thin orthonormal factor, [m x min m n] *)
+  r : Mat.t;  (** upper-triangular factor of the permuted matrix *)
+  jpvt : int array;  (** column permutation: column [k] of [q*r] is column [jpvt.(k)] of the input *)
+  rank : int;  (** numerical rank detected during pivoting *)
+}
+(** Result of a column-pivoted (rank-revealing) factorisation. *)
+
+val thin : Mat.t -> Mat.t * Mat.t
+(** [thin a] for [a] of shape [m x n] with [m >= n] returns [(q, r)] with
+    [a = q * r], [q] of shape [m x n] with orthonormal columns and [r]
+    upper triangular. *)
+
+val pivoted : ?tol:float -> Mat.t -> pivoted
+(** Column-pivoted Householder QR of a matrix of any shape.  Elimination
+    stops when the largest remaining column norm falls below [tol] (default
+    [1e-12]) relative to the largest original column norm; the number of
+    completed steps is the [rank] estimate (the RRQR of the paper's Section
+    V-C discussion). *)
+
+val orth : ?tol:float -> Mat.t -> Mat.t
+(** Orthonormal basis of the column space, via {!pivoted}.  Handles
+    rank-deficient and wide inputs; a numerically zero input yields a basis
+    with zero columns. *)

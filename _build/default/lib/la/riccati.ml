@@ -1,0 +1,47 @@
+(* Continuous algebraic Riccati equations by the Newton-Kleinman iteration:
+
+     A^T X + X A - X G X + Q = 0,     G = B B^T (PSD), Q PSD
+
+   Each Newton step solves one Lyapunov equation with the current
+   closed-loop matrix A - G X_k, so the whole solver rides on [Lyap].  For
+   stable A the zero matrix is a stabilising initial guess and convergence
+   is quadratic and monotone.  The Riccati machinery is what the
+   positive-real / LQG balancing extensions of TBR (the paper's cited
+   future work, ref. [12]) are built from. *)
+
+exception Not_converged
+
+(* Solve A^T X + X A - X G X + Q = 0 for symmetric PSD X.
+   Requires A stable (so X0 = 0 stabilises). *)
+let care ?(max_iter = 60) ?(tol = 1e-11) ~(a : Mat.t) ~(g : Mat.t) ~(q : Mat.t) () =
+  let n = a.Mat.rows in
+  assert (g.Mat.rows = n && q.Mat.rows = n);
+  let residual x =
+    let at_x = Mat.mul (Mat.transpose a) x in
+    let xa = Mat.mul x a in
+    let xgx = Mat.mul x (Mat.mul g x) in
+    Mat.frobenius (Mat.add (Mat.sub (Mat.add at_x xa) xgx) q)
+  in
+  let scale = Float.max 1.0 (Mat.frobenius q) in
+  let rec iterate x k =
+    if k >= max_iter then raise Not_converged
+    else begin
+      (* closed loop: Ak = A - G X; solve Ak^T Y + Y Ak + (Q + X G X) = 0 *)
+      let ak = Mat.sub a (Mat.mul g x) in
+      let rhs = Mat.symmetrize (Mat.add q (Mat.mul x (Mat.mul g x))) in
+      let y = Lyap.solve (Mat.transpose ak) rhs in
+      if residual y <= tol *. scale then y
+      else if Mat.frobenius (Mat.sub y x) <= 1e-14 *. Float.max 1.0 (Mat.frobenius y) then
+        (* stagnation at the achievable accuracy *)
+        y
+      else iterate y (k + 1)
+    end
+  in
+  iterate (Mat.create n n) 0
+
+(* Residual norm, for the tests. *)
+let care_residual ~a ~g ~q x =
+  let at_x = Mat.mul (Mat.transpose a) x in
+  let xa = Mat.mul x a in
+  let xgx = Mat.mul x (Mat.mul g x) in
+  Mat.frobenius (Mat.add (Mat.sub (Mat.add at_x xa) xgx) q)

@@ -1,0 +1,16 @@
+(** Continuous algebraic Riccati equations by the Newton-Kleinman
+    iteration, each step one {!Lyap} solve.  The substrate for the
+    positive-real / LQG balancing extensions of TBR (the paper's cited
+    future work). *)
+
+exception Not_converged
+
+val care : ?max_iter:int -> ?tol:float -> a:Mat.t -> g:Mat.t -> q:Mat.t -> unit -> Mat.t
+(** [care ~a ~g ~q ()] solves [A^T X + X A - X G X + Q = 0] for the
+    stabilising symmetric PSD solution.  [g] and [q] must be symmetric PSD
+    and [a] stable (the zero initial guess then stabilises; convergence is
+    quadratic).
+    @raise Not_converged after [max_iter] (default 60) Newton steps. *)
+
+val care_residual : a:Mat.t -> g:Mat.t -> q:Mat.t -> Mat.t -> float
+(** Frobenius norm of the Riccati residual at a candidate solution. *)

@@ -1,0 +1,28 @@
+(* Principal angles between column subspaces (Bjorck-Golub): the cosines are
+   the singular values of Q1^T Q2 for orthonormal bases Q1, Q2.  Used to
+   measure convergence of PMTBR projection subspaces to the exact dominant
+   eigenspaces (paper Fig. 6). *)
+
+let clamp x = Float.min 1.0 (Float.max (-1.0) x)
+
+(* Principal angles (radians, ascending) between col spaces of a and b. *)
+let principal_angles (a : Mat.t) (b : Mat.t) =
+  let qa = Qr.orth a and qb = Qr.orth b in
+  let m = Mat.mul (Mat.transpose qa) qb in
+  let s = Svd.values m in
+  let k = min (Array.length s) (min qa.Mat.cols qb.Mat.cols) in
+  Array.init k (fun i -> Float.acos (clamp s.(i)))
+
+(* Largest principal angle: 0 when one space contains the other. *)
+let max_angle a b =
+  let angles = principal_angles a b in
+  Array.fold_left Float.max 0.0 angles
+
+(* Angle between a single vector and a subspace: the angle between the
+   vector and its orthogonal projection onto the subspace. *)
+let vector_to_subspace_angle (x : float array) (basis : Mat.t) =
+  let q = Qr.orth basis in
+  let xn = Vec.normalize x in
+  let coeffs = Mat.mv_transposed q xn in
+  let proj_norm = Vec.norm2 coeffs in
+  Float.acos (clamp proj_norm)

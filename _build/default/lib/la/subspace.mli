@@ -1,0 +1,14 @@
+(** Principal angles between column subspaces (Bjorck-Golub): the cosines
+    are the singular values of [Q1^T Q2] for orthonormal bases.  Used to
+    measure convergence of PMTBR projection subspaces to exact dominant
+    eigenspaces (paper Fig. 6). *)
+
+val principal_angles : Mat.t -> Mat.t -> float array
+(** Principal angles (radians, ascending) between the column spaces of the
+    two matrices; the inputs are orthonormalised internally. *)
+
+val max_angle : Mat.t -> Mat.t -> float
+(** Largest principal angle; [0] when one space contains the other. *)
+
+val vector_to_subspace_angle : float array -> Mat.t -> float
+(** Angle between a single vector and the column space of a matrix. *)

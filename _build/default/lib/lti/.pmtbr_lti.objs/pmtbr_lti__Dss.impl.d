@@ -1,0 +1,1 @@
+lib/lti/dss.ml: Array Cmat Complex List Mat Pmtbr_circuit Pmtbr_la Pmtbr_sparse Shifted Triplet

@@ -1,0 +1,1 @@
+lib/lti/dss.mli: Complex Mat Pmtbr_circuit Pmtbr_la Pmtbr_sparse Shifted Triplet

@@ -1,0 +1,1 @@
+lib/lti/freq.ml: Array Cmat Complex Dss Float Mat Pmtbr_la Scalar

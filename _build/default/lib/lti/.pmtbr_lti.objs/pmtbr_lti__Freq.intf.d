@@ -1,0 +1,1 @@
+lib/lti/freq.mli: Cmat Complex Dss Pmtbr_la

@@ -1,0 +1,1 @@
+lib/lti/gramian.ml: List Lyap Mat Pmtbr_la

@@ -1,0 +1,1 @@
+lib/lti/gramian.mli: Mat Pmtbr_la

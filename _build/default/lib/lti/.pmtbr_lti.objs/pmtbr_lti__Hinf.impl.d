@@ -1,0 +1,1 @@
+lib/lti/hinf.ml: Array Cmat Complex Cschur Dss Float List Mat Pmtbr_la Svd

@@ -1,0 +1,1 @@
+lib/lti/hinf.mli: Dss Pmtbr_la

@@ -1,0 +1,1 @@
+lib/lti/lqg.ml: Array Dss Eig_sym Float Mat Pmtbr_la Riccati Svd

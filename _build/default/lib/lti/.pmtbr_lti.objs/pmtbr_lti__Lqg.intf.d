@@ -1,0 +1,1 @@
+lib/lti/lqg.mli: Dss Mat Pmtbr_la

@@ -1,0 +1,1 @@
+lib/lti/modal.ml: Array Cmat Complex Cschur Cvec Dss Float List Mat Pmtbr_la

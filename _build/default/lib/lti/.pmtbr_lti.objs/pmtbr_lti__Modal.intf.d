@@ -1,0 +1,1 @@
+lib/lti/modal.mli: Complex Dss Pmtbr_la

@@ -1,0 +1,1 @@
+lib/lti/moments.ml: Array Cmat Complex Dss Float List Mat Pmtbr_la Scalar

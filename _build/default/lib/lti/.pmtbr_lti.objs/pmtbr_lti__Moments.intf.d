@@ -1,0 +1,1 @@
+lib/lti/moments.mli: Complex Dss Pmtbr_la

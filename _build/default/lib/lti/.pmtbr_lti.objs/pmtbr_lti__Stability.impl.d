@@ -1,0 +1,1 @@
+lib/lti/stability.ml: Array Cmat Complex Cschur Dss Eig_sym Float Freq Mat Pmtbr_la

@@ -1,0 +1,1 @@
+lib/lti/stability.mli: Complex Dss Pmtbr_la

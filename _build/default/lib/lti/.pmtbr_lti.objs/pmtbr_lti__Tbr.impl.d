@@ -1,0 +1,1 @@
+lib/lti/tbr.ml: Array Dss Eig_sym Gramian List Lyap Mat Pmtbr_la Svd

@@ -1,0 +1,1 @@
+lib/lti/tbr.mli: Dss Mat Pmtbr_la

@@ -1,0 +1,1 @@
+lib/lti/tdsim.ml: Array Csc Dss Float Mat Ordering Pmtbr_la Pmtbr_sparse Sparse_lu Triplet

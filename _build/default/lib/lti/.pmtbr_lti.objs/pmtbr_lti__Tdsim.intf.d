@@ -1,0 +1,1 @@
+lib/lti/tdsim.mli: Dss Mat Pmtbr_la

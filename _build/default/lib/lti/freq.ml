@@ -1,0 +1,72 @@
+(* Frequency responses and response-error metrics. *)
+
+open Pmtbr_la
+
+(* H(s) = C (sE - A)^{-1} B : outputs x inputs, complex. *)
+let eval sys (s : Complex.t) =
+  let z = Dss.shifted_solve sys s in
+  let c = Dss.c_matrix sys in
+  let p_out = c.Mat.rows and p_in = Array.length z in
+  Cmat.init p_out p_in (fun i j ->
+      let acc = ref Complex.zero in
+      for k = 0 to c.Mat.cols - 1 do
+        acc := Complex.add !acc (Scalar.Cx.scale (Mat.get c i k) z.(j).(k))
+      done;
+      !acc)
+
+let eval_jw sys (omega : float) = eval sys { Complex.re = 0.0; im = omega }
+
+(* Responses over a frequency grid (rad/s). *)
+let sweep sys (omegas : float array) = Array.map (eval_jw sys) omegas
+
+(* Entry (i, j) of each response in a sweep. *)
+let entry_series responses i j = Array.map (fun h -> Cmat.get h i j) responses
+
+(* Worst-case absolute entrywise error between two sweeps. *)
+let max_abs_error (h_ref : Cmat.t array) (h_apx : Cmat.t array) =
+  assert (Array.length h_ref = Array.length h_apx);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k href ->
+      let d = Cmat.sub href h_apx.(k) in
+      worst := Float.max !worst (Cmat.max_abs d))
+    h_ref;
+  !worst
+
+(* Worst-case error normalised by the largest reference magnitude. *)
+let max_rel_error h_ref h_apx =
+  let scale = Array.fold_left (fun acc h -> Float.max acc (Cmat.max_abs h)) 0.0 h_ref in
+  if scale = 0.0 then max_abs_error h_ref h_apx else max_abs_error h_ref h_apx /. scale
+
+(* RMS entrywise error over the sweep. *)
+let rms_error h_ref h_apx =
+  assert (Array.length h_ref = Array.length h_apx);
+  let acc = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun k href ->
+      let d = Cmat.sub href h_apx.(k) in
+      Array.iter
+        (fun z ->
+          let m = Complex.norm z in
+          acc := !acc +. (m *. m);
+          incr count)
+        d.Cmat.data)
+    h_ref;
+  if !count = 0 then 0.0 else sqrt (!acc /. float_of_int !count)
+
+(* Error restricted to the real part of entry (i, j): the spiral-inductor
+   resistance metric of Fig. 7. *)
+let max_real_part_error ?(i = 0) ?(j = 0) h_ref h_apx =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k href ->
+      let r1 = (Cmat.get href i j).Complex.re and r2 = (Cmat.get h_apx.(k) i j).Complex.re in
+      worst := Float.max !worst (Float.abs (r1 -. r2)))
+    h_ref;
+  !worst
+
+let max_real_part_rel_error ?(i = 0) ?(j = 0) h_ref h_apx =
+  let scale = ref 0.0 in
+  Array.iter (fun h -> scale := Float.max !scale (Float.abs (Cmat.get h i j).Complex.re)) h_ref;
+  if !scale = 0.0 then max_real_part_error ~i ~j h_ref h_apx
+  else max_real_part_error ~i ~j h_ref h_apx /. !scale

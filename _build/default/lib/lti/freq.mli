@@ -1,0 +1,34 @@
+(** Frequency responses and response-error metrics. *)
+
+open Pmtbr_la
+
+val eval : Dss.t -> Complex.t -> Cmat.t
+(** [eval sys s] is the transfer matrix [H(s) = C (sE - A)^{-1} B]
+    (outputs x inputs). *)
+
+val eval_jw : Dss.t -> float -> Cmat.t
+(** [eval_jw sys omega] is [eval sys (j omega)]. *)
+
+val sweep : Dss.t -> float array -> Cmat.t array
+(** Responses over a grid of frequencies (rad/s). *)
+
+val entry_series : Cmat.t array -> int -> int -> Complex.t array
+(** Entry (i, j) of each response in a sweep. *)
+
+val max_abs_error : Cmat.t array -> Cmat.t array -> float
+(** Worst-case absolute entrywise difference between two sweeps on the same
+    grid. *)
+
+val max_rel_error : Cmat.t array -> Cmat.t array -> float
+(** {!max_abs_error} normalised by the largest reference magnitude. *)
+
+val rms_error : Cmat.t array -> Cmat.t array -> float
+(** Root-mean-square entrywise error over the sweep. *)
+
+val max_real_part_error : ?i:int -> ?j:int -> Cmat.t array -> Cmat.t array -> float
+(** Error restricted to the real part of entry (i, j) — the
+    spiral-inductor resistance metric of paper Fig. 7. *)
+
+val max_real_part_rel_error : ?i:int -> ?j:int -> Cmat.t array -> Cmat.t array -> float
+(** {!max_real_part_error} normalised by the largest reference real
+    part. *)

@@ -1,0 +1,25 @@
+(** H-infinity norm computation by Hamiltonian-eigenvalue bisection
+    (Boyd-Balakrishnan / Bruinsma-Steinbuch): [gamma > ||H||_inf] exactly
+    when the associated Hamiltonian matrix has no purely imaginary
+    eigenvalues.  Turns the Glover bound of balanced truncation into an
+    exactly checkable statement. *)
+
+exception Unstable
+(** Raised when the system has an eigenvalue in the closed right half
+    plane: the H-infinity norm is unbounded. *)
+
+val peak_gain : a:Pmtbr_la.Mat.t -> b:Pmtbr_la.Mat.t -> c:Pmtbr_la.Mat.t -> float -> float
+(** Largest singular value of [C (jwI - A)^{-1} B] at one frequency. *)
+
+val norm : ?rtol:float -> a:Pmtbr_la.Mat.t -> b:Pmtbr_la.Mat.t -> c:Pmtbr_la.Mat.t ->
+  unit -> float
+(** H-infinity norm of a stable standard-form system (D = 0), to relative
+    accuracy [rtol] (default [1e-4]).
+    @raise Unstable on systems with right-half-plane poles. *)
+
+val error_system : Dss.t -> Dss.t -> Pmtbr_la.Mat.t * Pmtbr_la.Mat.t * Pmtbr_la.Mat.t
+(** Standard-form realisation of [H1 - H2] (block-diagonal A, stacked B,
+    [C1, -C2]); both systems must convert through {!Dss.to_standard}. *)
+
+val error_norm : ?rtol:float -> Dss.t -> Dss.t -> float
+(** True H-infinity norm of the difference of two systems. *)

@@ -1,0 +1,75 @@
+(* LQG (closed-loop) balanced truncation (Jonckheere-Silverman): balance
+   the stabilising solutions of the control and filter Riccati equations
+
+     A P + P A^T - P C^T C P + B B^T = 0
+     A^T Q + Q A - Q B B^T Q + C^T C = 0
+
+   instead of the open-loop Gramians.  The resulting "LQG characteristic
+   values" play the role of Hankel singular values for closed-loop
+   relevance; truncation keeps the states that matter when the model is
+   used inside a feedback loop.  Implemented with the same square-root
+   machinery as [Tbr], on top of [Riccati.care].
+
+   This is the flavour of Riccati-balanced reduction the paper points to as
+   future work (positive-real TBR, ref. [12], uses the same structure with
+   the positive-real Riccati equations). *)
+
+open Pmtbr_la
+
+type t = {
+  rom : Dss.t;
+  char_values : float array; (* LQG characteristic values, descending *)
+  order : int;
+}
+
+let characteristic_values ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) () =
+  let p =
+    Riccati.care ~a:(Mat.transpose a) ~g:(Mat.mul (Mat.transpose c) c)
+      ~q:(Mat.mul b (Mat.transpose b)) ()
+  in
+  let q =
+    Riccati.care ~a ~g:(Mat.mul b (Mat.transpose b)) ~q:(Mat.mul (Mat.transpose c) c) ()
+  in
+  let l = Eig_sym.psd_factor p in
+  let m = Eig_sym.psd_factor q in
+  Svd.values (Mat.mul (Mat.transpose m) l)
+
+let reduce ?order ?(tol = 1e-10) ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) () =
+  let p =
+    Riccati.care ~a:(Mat.transpose a) ~g:(Mat.mul (Mat.transpose c) c)
+      ~q:(Mat.mul b (Mat.transpose b)) ()
+  in
+  let q =
+    Riccati.care ~a ~g:(Mat.mul b (Mat.transpose b)) ~q:(Mat.mul (Mat.transpose c) c) ()
+  in
+  let l = Eig_sym.psd_factor p in
+  let m = Eig_sym.psd_factor q in
+  let { Svd.u; sigma; v } = Svd.decompose (Mat.mul (Mat.transpose m) l) in
+  let smax = if Array.length sigma = 0 then 0.0 else Float.max sigma.(0) 1e-300 in
+  let max_rank =
+    let r = ref 0 in
+    Array.iter (fun s -> if s > 1e-13 *. smax then incr r) sigma;
+    max 1 !r
+  in
+  let q_model =
+    match order with
+    | Some q -> max 1 (min q max_rank)
+    | None ->
+        let r = ref 0 in
+        Array.iter (fun s -> if s > tol *. smax then incr r) sigma;
+        max 1 (min !r max_rank)
+  in
+  let inv_sqrt = Array.init q_model (fun i -> 1.0 /. sqrt sigma.(i)) in
+  let scale_cols mat =
+    Mat.init mat.Mat.rows q_model (fun i j -> Mat.get mat i j *. inv_sqrt.(j))
+  in
+  let t_r = scale_cols (Mat.mul l (Mat.sub_cols v 0 q_model)) in
+  let t_l = scale_cols (Mat.mul m (Mat.sub_cols u 0 q_model)) in
+  let a_r = Mat.mul (Mat.transpose t_l) (Mat.mul a t_r) in
+  let b_r = Mat.mul (Mat.transpose t_l) b in
+  let c_r = Mat.mul c t_r in
+  { rom = Dss.of_standard ~a:a_r ~b:b_r ~c:c_r; char_values = sigma; order = q_model }
+
+let reduce_dss ?order ?tol sys =
+  let a, b, c = Dss.to_standard sys in
+  reduce ?order ?tol ~a ~b ~c ()

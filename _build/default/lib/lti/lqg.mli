@@ -1,0 +1,24 @@
+(** LQG (closed-loop) balanced truncation (Jonckheere-Silverman): balance
+    the stabilising control/filter Riccati solutions instead of the
+    open-loop Gramians, keeping the states that matter when the model sits
+    inside a feedback loop.  The Riccati-balancing structure the paper
+    points to as future work (positive-real TBR uses the same machinery
+    with the positive-real Riccati equations). *)
+
+open Pmtbr_la
+
+type t = {
+  rom : Dss.t;
+  char_values : float array;  (** LQG characteristic values, descending *)
+  order : int;
+}
+
+val characteristic_values : a:Mat.t -> b:Mat.t -> c:Mat.t -> unit -> float array
+(** The LQG analogue of the Hankel singular values. *)
+
+val reduce : ?order:int -> ?tol:float -> a:Mat.t -> b:Mat.t -> c:Mat.t -> unit -> t
+(** LQG-balanced truncation of a stable standard-form model; [order] or
+    relative characteristic-value [tol] (default [1e-10]) pick the size. *)
+
+val reduce_dss : ?order:int -> ?tol:float -> Dss.t -> t
+(** Descriptor wrapper through {!Dss.to_standard}. *)

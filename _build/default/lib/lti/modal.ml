@@ -1,0 +1,86 @@
+(* Pole-residue (modal) form of a dense reduced model:
+
+     H(s) = sum_i R_i / (s - p_i)        (+ direct term, zero here)
+
+   computed from the eigendecomposition of the reduced pencil.  Pole-residue
+   models are what downstream behavioural simulators and IBIS-AMI-style
+   flows consume, so this is the natural export format for a reduced
+   parasitic model.  Residues come from the right and left eigenvectors:
+   R_i = (C v_i) (w_i^H B) / (w_i^H E v_i). *)
+
+open Pmtbr_la
+
+type mode = {
+  pole : Complex.t;
+  residue : Cmat.t; (* outputs x inputs *)
+}
+
+type t = { modes : mode list; order : int }
+
+(* Modal decomposition of a dense reduced model (invertible E): convert to
+   standard form A' = E^{-1}A, B' = E^{-1}B, then
+
+     H(s) = sum_i (C v_i) (w_i^H B') / (w_i^H v_i) / (s - lambda_i)
+
+   with v_i, w_i the right/left eigenvectors of A'.  Poles with positive
+   real part are kept, so instability is visible to the caller. *)
+let decompose sys =
+  let a', b', c = Dss.to_standard sys in
+  let n = a'.Mat.rows in
+  let schur = Cschur.of_real a' in
+  let evs = Cschur.eigenvalues schur in
+  let bc = Cmat.of_mat b' and cc = Cmat.of_mat c in
+  (* left eigenvectors: eigenvectors of A'^H at the conjugate eigenvalue *)
+  let schur_t = Cschur.decompose (Cmat.conj_transpose (Cmat.of_mat a')) in
+  let evs_t = Cschur.eigenvalues schur_t in
+  let left_for lambda =
+    let target = Complex.conj lambda in
+    let best = ref 0 and bestd = ref Float.infinity in
+    Array.iteri
+      (fun i mu ->
+        let d = Complex.norm (Complex.sub mu target) in
+        if d < !bestd then begin
+          bestd := d;
+          best := i
+        end)
+      evs_t;
+    Cschur.eigenvector schur_t !best
+  in
+  let modes =
+    List.init n (fun i ->
+        let pole = evs.(i) in
+        let v = Cschur.eigenvector schur i in
+        let w = left_for pole in
+        let scale = Cvec.dot w v in
+        let cvec = Cmat.mv cc v in
+        let p_out = Array.length cvec and p_in = bc.Cmat.cols in
+        let residue =
+          Cmat.init p_out p_in (fun r q ->
+              let wb = Cvec.dot w (Cmat.col bc q) in
+              Complex.div (Complex.mul cvec.(r) wb) scale)
+        in
+        { pole; residue })
+  in
+  { modes; order = n }
+
+(* Evaluate the pole-residue model at a complex frequency. *)
+let eval { modes; _ } (s : Complex.t) =
+  match modes with
+  | [] -> invalid_arg "Modal.eval: empty model"
+  | first :: _ ->
+      let p_out = first.residue.Cmat.rows and p_in = first.residue.Cmat.cols in
+      let acc = Cmat.create p_out p_in in
+      List.fold_left
+        (fun acc { pole; residue } ->
+          let gain = Complex.div Complex.one (Complex.sub s pole) in
+          Cmat.add acc (Cmat.scale_elt gain residue))
+        acc modes
+
+(* Dominant modes by residue magnitude over damping: |R| / |Re p| is the
+   peak contribution of the mode to the frequency response. *)
+let dominant ?(count = 5) t =
+  let score { pole; residue } =
+    Cmat.max_abs residue /. Float.max 1e-300 (Float.abs pole.Complex.re)
+  in
+  let sorted = List.sort (fun m1 m2 -> compare (score m2) (score m1)) t.modes in
+  List.filteri (fun i _ -> i < count) sorted

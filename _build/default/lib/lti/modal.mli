@@ -1,0 +1,21 @@
+(** Pole-residue (modal) form of a dense reduced model,
+    [H(s) = sum_i R_i / (s - p_i)] — the natural export format for reduced
+    parasitic models consumed by behavioural simulators. *)
+
+type mode = {
+  pole : Complex.t;
+  residue : Pmtbr_la.Cmat.t;  (** outputs x inputs *)
+}
+
+type t = { modes : mode list; order : int }
+
+val decompose : Dss.t -> t
+(** Modal decomposition of a dense reduced model (invertible E).  Unstable
+    poles, if any, are kept so the caller can see them. *)
+
+val eval : t -> Complex.t -> Pmtbr_la.Cmat.t
+(** Evaluate the pole-residue sum at a complex frequency. *)
+
+val dominant : ?count:int -> t -> mode list
+(** The [count] modes with the largest peak contribution
+    [|R| / |Re pole|], most dominant first. *)

@@ -1,0 +1,14 @@
+(** Moments of the transfer function about an expansion point,
+
+    [m_k = C ((s0 E - A)^{-1} E)^k (s0 E - A)^{-1} B].
+
+    Moment matching is the defining property of the Krylov baselines; this
+    module makes it checkable, and moment comparison is itself a quick
+    model-validation tool. *)
+
+val at : Dss.t -> s0:Complex.t -> count:int -> Pmtbr_la.Cmat.t list
+(** First [count] block moments, each an outputs x inputs complex matrix. *)
+
+val mismatch : Dss.t -> Dss.t -> s0:Complex.t -> count:int -> float
+(** Worst relative entrywise mismatch of the first [count] moments of two
+    systems. *)

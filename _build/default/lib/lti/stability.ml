@@ -1,0 +1,79 @@
+(* Stability and passivity analysis of (reduced) models - the checks behind
+   paper Section V-E.  Congruence-projected RLC models are passive by
+   construction; these routines verify that numerically and diagnose models
+   produced by non-structure-preserving methods. *)
+
+open Pmtbr_la
+
+(* Finite generalised eigenvalues of the pencil (E, A), i.e. the poles of
+   the descriptor system: eigenvalues of E^{-1} A for invertible E.  Only
+   meaningful for dense (reduced) models. *)
+let poles sys =
+  let e = Dss.e_dense sys and a = Dss.a_dense sys in
+  let a' = Mat.lu_solve (Mat.lu e) a in
+  Cschur.eigenvalues (Cschur.of_real a')
+
+(* Largest real part over the poles; negative means asymptotically
+   stable. *)
+let spectral_abscissa sys =
+  Array.fold_left (fun acc z -> Float.max acc z.Complex.re) Float.neg_infinity (poles sys)
+
+let is_stable ?(tol = 0.0) sys = spectral_abscissa sys <= tol
+
+(* Passivity of an impedance-type model: H(s) must be positive-real, i.e.
+   H(jw) + H(jw)^H positive semidefinite for all w.  We check the smallest
+   eigenvalue of the Hermitian part on a frequency grid; [worst] is the
+   most negative value found (>= 0 means no violation detected). *)
+let hermitian_part_min_eig (h : Cmat.t) =
+  let p = h.Cmat.rows in
+  (* Hermitian part G = (H + H^H)/2; its eigenvalues are real.  Embed the
+     Hermitian complex matrix into a real symmetric one of twice the size:
+     [[Re G, -Im G], [Im G, Re G]] has the same eigenvalues (doubled). *)
+  let g = Cmat.scale 0.5 (Cmat.add h (Cmat.conj_transpose h)) in
+  let re = Cmat.re g and im = Cmat.im g in
+  let big =
+    Mat.init (2 * p) (2 * p) (fun i j ->
+        let bi = i / p and bj = j / p in
+        let ii = i mod p and jj = j mod p in
+        match (bi, bj) with
+        | 0, 0 | 1, 1 -> Mat.get re ii jj
+        | 0, 1 -> -.Mat.get im ii jj
+        | 1, 0 -> Mat.get im ii jj
+        | _ -> assert false)
+  in
+  let eigs = Eig_sym.eigenvalues big in
+  eigs.(Array.length eigs - 1)
+
+type passivity_report = {
+  worst : float; (* most negative min-eigenvalue of the Hermitian part *)
+  worst_omega : float; (* frequency where it occurs *)
+  passive : bool;
+}
+
+let check_passivity ?(tol = -1e-9) sys ~omegas =
+  let worst = ref Float.infinity and worst_omega = ref 0.0 in
+  Array.iter
+    (fun w ->
+      let h = Freq.eval_jw sys w in
+      let m = hermitian_part_min_eig h in
+      if m < !worst then begin
+        worst := m;
+        worst_omega := w
+      end)
+    omegas;
+  { worst = !worst; worst_omega = !worst_omega; passive = !worst >= tol }
+
+(* Symmetric-definite structural check for congruence-reduced RC models:
+   V^T E V must be SPD and V^T A V negative semidefinite; that certifies
+   stability and passivity without frequency sampling. *)
+let rc_structure_certificate sys =
+  let e = Dss.e_dense sys and a = Dss.a_dense sys in
+  if not (Mat.is_symmetric ~tol:1e-9 e && Mat.is_symmetric ~tol:1e-9 a) then None
+  else begin
+    let e_eigs = Eig_sym.eigenvalues e in
+    let a_eigs = Eig_sym.eigenvalues a in
+    let n = Array.length e_eigs in
+    let e_pd = n > 0 && e_eigs.(n - 1) > 0.0 in
+    let a_nsd = n > 0 && a_eigs.(0) <= 1e-9 *. Float.max 1.0 (Float.abs a_eigs.(n - 1)) in
+    Some (e_pd && a_nsd)
+  end

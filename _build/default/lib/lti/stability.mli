@@ -1,0 +1,37 @@
+(** Stability and passivity analysis of (reduced) models — the checks
+    behind paper Section V-E.  Congruence-projected RLC models are passive
+    by construction; these routines verify that numerically and diagnose
+    models produced by non-structure-preserving methods. *)
+
+val poles : Dss.t -> Complex.t array
+(** Finite generalised eigenvalues of the pencil (E, A) — the poles.
+    Requires invertible E; intended for dense reduced models. *)
+
+val spectral_abscissa : Dss.t -> float
+(** Largest real part over the poles; negative means asymptotically
+    stable. *)
+
+val is_stable : ?tol:float -> Dss.t -> bool
+(** [spectral_abscissa sys <= tol] (default 0). *)
+
+val hermitian_part_min_eig : Pmtbr_la.Cmat.t -> float
+(** Smallest eigenvalue of [(H + H^H)/2], computed through the real
+    symmetric embedding. *)
+
+type passivity_report = {
+  worst : float;  (** most negative min-eigenvalue of the Hermitian part *)
+  worst_omega : float;  (** frequency (rad/s) where it occurs *)
+  passive : bool;
+}
+
+val check_passivity : ?tol:float -> Dss.t -> omegas:float array -> passivity_report
+(** Sampled positive-realness check of an impedance-type model: the
+    Hermitian part of [H(jw)] must be positive semidefinite at every tested
+    frequency ([tol], default [-1e-9], absorbs round-off). *)
+
+val rc_structure_certificate : Dss.t -> bool option
+(** For symmetric (RC-structured) dense models: [Some true] when
+    [E] is symmetric positive definite and [A] symmetric negative
+    semidefinite — certifying stability and passivity without any
+    frequency sampling; [Some false] when symmetric but indefinite; [None]
+    when the model is not symmetric. *)

@@ -1,0 +1,92 @@
+(* Exact truncated balanced realisation (TBR), the baseline the paper's
+   method approximates.  Implemented with the square-root method: factor
+   both Gramians, SVD the product of the factors, build the oblique
+   balancing projection.  The Hankel singular values come out of the SVD and
+   give Glover's error bound 2 * sum of the truncated tail. *)
+
+open Pmtbr_la
+
+type t = {
+  rom : Dss.t; (* reduced standard-form model *)
+  hsv : float array; (* all Hankel singular values, descending *)
+  order : int;
+}
+
+(* Glover bound for truncating at [order]: 2 * sum_{i>order} sigma_i. *)
+let error_bound hsv order =
+  let acc = ref 0.0 in
+  Array.iteri (fun i s -> if i >= order then acc := !acc +. s) hsv;
+  2.0 *. !acc
+
+(* Smallest order whose Glover bound is below [tol]. *)
+let order_for_tolerance hsv tol =
+  let n = Array.length hsv in
+  let rec search q = if q >= n then n else if error_bound hsv q <= tol then q else search (q + 1) in
+  search 0
+
+let hankel_singular_values ?k ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) () =
+  let x = Gramian.controllability ?k ~a ~b () in
+  let y = Gramian.observability ~a ~c () in
+  let l = Eig_sym.psd_factor x in
+  let m = Eig_sym.psd_factor y in
+  Svd.values (Mat.mul (Mat.transpose m) l)
+
+(* Hankel singular values for several B matrices, factoring A and the
+   observability Gramian once (Fig. 3). *)
+let hsv_family ~(a : Mat.t) ~(c_of_b : Mat.t -> Mat.t) (bs : Mat.t list) =
+  let fact = Lyap.factor a in
+  let fact_t = Lyap.factor (Mat.transpose a) in
+  List.map
+    (fun b ->
+      let c = c_of_b b in
+      let x = Lyap.solve_with fact (Mat.mul b (Mat.transpose b)) in
+      let y = Lyap.solve_with fact_t (Mat.mul (Mat.transpose c) c) in
+      let l = Eig_sym.psd_factor x in
+      let m = Eig_sym.psd_factor y in
+      Svd.values (Mat.mul (Mat.transpose m) l))
+    bs
+
+(* Balanced truncation of a standard-form model.  Exactly one of [order] or
+   [tol] chooses the reduced size.  [k] is the optional input correlation
+   matrix for input-correlated TBR. *)
+let reduce ?order ?tol ?k ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) () =
+  let x = Gramian.controllability ?k ~a ~b () in
+  let y = Gramian.observability ~a ~c () in
+  let l = Eig_sym.psd_factor x in
+  let m = Eig_sym.psd_factor y in
+  let { Svd.u; sigma; v } = Svd.decompose (Mat.mul (Mat.transpose m) l) in
+  let max_rank =
+    (* numerically meaningful part of the spectrum *)
+    let smax = if Array.length sigma = 0 then 0.0 else sigma.(0) in
+    let r = ref 0 in
+    Array.iter (fun s -> if s > 1e-13 *. smax && s > 0.0 then incr r) sigma;
+    !r
+  in
+  let q =
+    match (order, tol) with
+    | Some q, None -> min q max_rank
+    | None, Some t -> min (order_for_tolerance sigma t) max_rank
+    | None, None -> max_rank
+    | Some _, Some _ -> invalid_arg "Tbr.reduce: give either ~order or ~tol"
+  in
+  let q = max q 1 in
+  (* T_r = L V_q S_q^{-1/2}, T_l = M U_q S_q^{-1/2} *)
+  let scale_cols mat cols =
+    Mat.init mat.Mat.rows q (fun i j -> Mat.get mat i j *. cols.(j))
+  in
+  let inv_sqrt = Array.init q (fun i -> 1.0 /. sqrt sigma.(i)) in
+  let t_r = scale_cols (Mat.mul l (Mat.sub_cols v 0 q)) inv_sqrt in
+  let t_l = scale_cols (Mat.mul m (Mat.sub_cols u 0 q)) inv_sqrt in
+  let a_r = Mat.mul (Mat.transpose t_l) (Mat.mul a t_r) in
+  let b_r = Mat.mul (Mat.transpose t_l) b in
+  let c_r = Mat.mul c t_r in
+  { rom = Dss.of_standard ~a:a_r ~b:b_r ~c:c_r; hsv = sigma; order = q }
+
+(* Balanced truncation of a descriptor system with invertible E. *)
+let reduce_dss ?order ?tol ?k sys =
+  let a, b, c = Dss.to_standard sys in
+  reduce ?order ?tol ?k ~a ~b ~c ()
+
+let hsv_dss sys =
+  let a, b, c = Dss.to_standard sys in
+  hankel_singular_values ~a ~b ~c ()

@@ -1,0 +1,42 @@
+(** Exact truncated balanced realisation (TBR), the baseline that PMTBR
+    approximates.  Square-root method: factor both Gramians, SVD the
+    product of the factors, build the oblique balancing projection.  The
+    Hankel singular values fall out of the SVD and give Glover's error
+    bound [2 * sum of the truncated tail]. *)
+
+open Pmtbr_la
+
+type t = {
+  rom : Dss.t;  (** reduced standard-form model *)
+  hsv : float array;  (** all Hankel singular values, descending *)
+  order : int;  (** reduced order actually used *)
+}
+
+val error_bound : float array -> int -> float
+(** [error_bound hsv q] is Glover's bound [2 * sum_{i >= q} hsv_i] on the
+    H-infinity error of the order-[q] truncation. *)
+
+val order_for_tolerance : float array -> float -> int
+(** Smallest order whose Glover bound is at most the tolerance. *)
+
+val hankel_singular_values : ?k:Mat.t -> a:Mat.t -> b:Mat.t -> c:Mat.t -> unit -> float array
+(** Hankel singular values of a standard-form system; [k] is the optional
+    input correlation matrix. *)
+
+val hsv_family : a:Mat.t -> c_of_b:(Mat.t -> Mat.t) -> Mat.t list -> float array list
+(** Hankel singular values for several input matrices, factoring [A] (and
+    [A^T]) once; [c_of_b] derives each output map from the input map
+    (e.g. [Mat.transpose] for impedance-driven networks). *)
+
+val reduce : ?order:int -> ?tol:float -> ?k:Mat.t -> a:Mat.t -> b:Mat.t -> c:Mat.t -> unit -> t
+(** Balanced truncation of a standard-form model.  Give exactly one of
+    [order] (target size) or [tol] (Glover-bound tolerance); with neither,
+    the model is truncated only at numerical rank.  [k] selects
+    input-correlated TBR. *)
+
+val reduce_dss : ?order:int -> ?tol:float -> ?k:Mat.t -> Dss.t -> t
+(** Balanced truncation of a descriptor system with invertible E (converted
+    through {!Dss.to_standard}). *)
+
+val hsv_dss : Dss.t -> float array
+(** Hankel singular values of a descriptor system with invertible E. *)

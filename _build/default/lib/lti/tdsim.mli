@@ -1,0 +1,34 @@
+(** Transient simulation of descriptor systems by the trapezoidal rule.
+    The left-hand matrix [(E - h/2 A)] is factored once (sparse LU for full
+    models, dense LU for reduced ones), so each step costs one matvec plus
+    one solve — the usage pattern of a circuit simulator's linear transient
+    analysis. *)
+
+open Pmtbr_la
+
+type result = {
+  times : float array;
+  outputs : Mat.t;  (** outputs x steps *)
+  states : Mat.t option;  (** states x steps, when requested *)
+}
+
+type stepper = {
+  n : int;
+  advance : float array -> float array -> float array -> float array;
+      (** [advance x u_k u_k1] is [x_{k+1}] *)
+}
+
+val make_stepper : Dss.t -> dt:float -> stepper
+(** Factor the stepping matrices for a fixed step size. *)
+
+val simulate : ?keep_states:bool -> ?x0:float array -> Dss.t -> t0:float -> t1:float ->
+  dt:float -> u:(float -> float array) -> result
+(** Simulate from [x0] (default: rest).  [u t] gives the input vector at
+    time [t]; it is evaluated at both endpoints of each step. *)
+
+val output_error : ?row:int -> result -> result -> float
+(** Worst absolute difference of one output row between two results on the
+    same grid (default row 0). *)
+
+val output_rms_error : ?row:int -> result -> result -> float
+(** Root-mean-square difference of one output row. *)

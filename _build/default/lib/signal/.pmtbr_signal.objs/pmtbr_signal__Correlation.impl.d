@@ -1,0 +1,1 @@
+lib/signal/correlation.ml: Array Mat Pmtbr_la Rng Svd

@@ -1,0 +1,1 @@
+lib/signal/correlation.mli: Pmtbr_la Rng

@@ -1,0 +1,1 @@
+lib/signal/quad.ml: Array Float Pmtbr_la

@@ -1,0 +1,1 @@
+lib/signal/waveform.ml: Array Float Mat Pmtbr_la Rng

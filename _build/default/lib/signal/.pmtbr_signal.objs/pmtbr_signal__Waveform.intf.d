@@ -1,0 +1,1 @@
+lib/signal/waveform.mli: Pmtbr_la Rng

@@ -1,0 +1,23 @@
+(** Input-correlation estimation (paper Section IV-C): from a [p x N]
+    matrix of input samples [U], estimate [K = U U^T / N], or equivalently
+    work with the SVD of [U] directly. *)
+
+val correlation_matrix : Pmtbr_la.Mat.t -> Pmtbr_la.Mat.t
+(** Sample correlation matrix [K_ij = (1/N) sum_l u_i^l u_j^l]. *)
+
+type input_basis = {
+  directions : Pmtbr_la.Mat.t;  (** [V_K]: orthonormal input directions, [p x r] *)
+  sigmas : float array;  (** singular values of [U / sqrt N]; their squares are the eigenvalues of [K] *)
+}
+
+val analyse : Pmtbr_la.Mat.t -> input_basis
+(** SVD of the sample matrix, normalised so that [sigmas.^2] are the
+    eigenvalues of the correlation matrix. *)
+
+val truncate : ?tol:float -> input_basis -> input_basis
+(** Keep directions with [sigma > tol * sigma_max] (default [1e-8]); always
+    keeps at least one. *)
+
+val draw_direction : rng:Rng.t -> input_basis -> float array
+(** A random port-space vector [V_K r] with [r ~ N(0, diag sigmas^2)]
+    (Algorithm 3, steps 3/5). *)

@@ -1,0 +1,88 @@
+(* Quadrature rules for approximating the frequency-domain Gramian integral
+   (paper eq. 8).  Nodes/weights come back as arrays over a target interval;
+   PMTBR treats every (node, weight) pair as one sample column. *)
+
+type rule = { nodes : float array; weights : float array }
+
+(* Gauss-Legendre nodes on [-1, 1] by Newton iteration on P_n. *)
+let gauss_legendre_unit n =
+  assert (n >= 1);
+  let nodes = Array.make n 0.0 and weights = Array.make n 0.0 in
+  let m = (n + 1) / 2 in
+  for i = 0 to m - 1 do
+    (* Chebyshev-based initial guess *)
+    let x = ref (cos (Float.pi *. (float_of_int i +. 0.75) /. (float_of_int n +. 0.5))) in
+    let pp = ref 0.0 in
+    for _ = 1 to 100 do
+      (* evaluate P_n and P'_n at x by recurrence *)
+      let p0 = ref 1.0 and p1 = ref !x in
+      if n = 1 then ()
+      else
+        for k = 2 to n do
+          let pk =
+            (((2.0 *. float_of_int k) -. 1.0) *. !x *. !p1 -. ((float_of_int k -. 1.0) *. !p0))
+            /. float_of_int k
+          in
+          p0 := !p1;
+          p1 := pk
+        done;
+      let pn = if n = 1 then !p1 else !p1 in
+      let dpn =
+        if n = 1 then 1.0 else float_of_int n *. ((!x *. !p1) -. !p0) /. ((!x *. !x) -. 1.0)
+      in
+      pp := dpn;
+      let dx = pn /. dpn in
+      x := !x -. dx
+    done;
+    nodes.(i) <- -. !x;
+    nodes.(n - 1 - i) <- !x;
+    let w = 2.0 /. ((1.0 -. (!x *. !x)) *. !pp *. !pp) in
+    weights.(i) <- w;
+    weights.(n - 1 - i) <- w
+  done;
+  { nodes; weights }
+
+(* Map a [-1,1] rule onto [lo, hi]. *)
+let map_interval { nodes; weights } ~lo ~hi =
+  let half = 0.5 *. (hi -. lo) and mid = 0.5 *. (hi +. lo) in
+  {
+    nodes = Array.map (fun x -> mid +. (half *. x)) nodes;
+    weights = Array.map (fun w -> half *. w) weights;
+  }
+
+let gauss_legendre ~lo ~hi n = map_interval (gauss_legendre_unit n) ~lo ~hi
+
+(* Composite midpoint ("rectangle rule" in the paper's Fig. 8 discussion). *)
+let midpoint ~lo ~hi n =
+  assert (n >= 1);
+  let h = (hi -. lo) /. float_of_int n in
+  {
+    nodes = Array.init n (fun i -> lo +. (h *. (float_of_int i +. 0.5)));
+    weights = Array.make n h;
+  }
+
+(* Trapezoid rule including the endpoints. *)
+let trapezoid ~lo ~hi n =
+  assert (n >= 2);
+  let h = (hi -. lo) /. float_of_int (n - 1) in
+  {
+    nodes = Array.init n (fun i -> lo +. (h *. float_of_int i));
+    weights = Array.init n (fun i -> if i = 0 || i = n - 1 then 0.5 *. h else h);
+  }
+
+(* Log-spaced midpoint-like rule for decade-spanning sweeps. *)
+let log_spaced ~lo ~hi n =
+  assert (lo > 0.0 && hi > lo && n >= 2);
+  let nodes = Pmtbr_la.Vec.logspace lo hi n in
+  let weights =
+    Array.init n (fun i ->
+        let left = if i = 0 then nodes.(0) else nodes.(i - 1) in
+        let right = if i = n - 1 then nodes.(n - 1) else nodes.(i + 1) in
+        0.5 *. (right -. left))
+  in
+  { nodes; weights }
+
+let integrate { nodes; weights } f =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (weights.(i) *. f x)) nodes;
+  !acc

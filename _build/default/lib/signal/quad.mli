@@ -1,0 +1,28 @@
+(** Quadrature rules for approximating the frequency-domain Gramian
+    integral (paper eq. 8).  PMTBR treats every (node, weight) pair as one
+    sample column. *)
+
+type rule = { nodes : float array; weights : float array }
+
+val gauss_legendre_unit : int -> rule
+(** [n]-point Gauss-Legendre rule on [[-1, 1]]. *)
+
+val map_interval : rule -> lo:float -> hi:float -> rule
+(** Affine transport of a [[-1, 1]] rule onto [[lo, hi]]. *)
+
+val gauss_legendre : lo:float -> hi:float -> int -> rule
+(** Gauss-Legendre rule on [[lo, hi]]; exact for polynomials of degree
+    [2n - 1]. *)
+
+val midpoint : lo:float -> hi:float -> int -> rule
+(** Composite midpoint rule (the "rectangle rule" of the paper's Fig. 8). *)
+
+val trapezoid : lo:float -> hi:float -> int -> rule
+(** Composite trapezoid rule including the endpoints ([n >= 2] points). *)
+
+val log_spaced : lo:float -> hi:float -> int -> rule
+(** Log-spaced nodes with midpoint-like weights, for decade-spanning
+    sweeps; both bounds must be positive. *)
+
+val integrate : rule -> (float -> float) -> float
+(** Apply the rule to a function. *)

@@ -1,0 +1,47 @@
+(* Deterministic, seedable pseudo-random numbers (splitmix64).  All the
+   stochastic experiments (input-correlated TBR, substrate generation) seed
+   their own generator so every run of the benches is reproducible. *)
+
+type t = { mutable state : int64; mutable spare_gaussian : float option }
+
+let create seed = { state = Int64.of_int seed; spare_gaussian = None }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, 1). *)
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) /. 9007199254740992.0
+
+(* Uniform in [lo, hi). *)
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+(* Uniform integer in [0, bound). *)
+let int t bound =
+  assert (bound > 0);
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+(* Standard normal via Box-Muller, caching the spare deviate. *)
+let gaussian t =
+  match t.spare_gaussian with
+  | Some g ->
+      t.spare_gaussian <- None;
+      g
+  | None ->
+      let rec draw () =
+        let u = float t in
+        if u <= 1e-300 then draw () else u
+      in
+      let u1 = draw () and u2 = float t in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.spare_gaussian <- Some (r *. sin theta);
+      r *. cos theta
+
+(* Log-uniform in [lo, hi] (both > 0): resistances, conductances. *)
+let log_uniform t ~lo ~hi =
+  assert (lo > 0.0 && hi > 0.0);
+  exp (uniform t ~lo:(log lo) ~hi:(log hi))

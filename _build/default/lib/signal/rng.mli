@@ -1,0 +1,28 @@
+(** Deterministic, seedable pseudo-random numbers (splitmix64).  All the
+    stochastic experiments seed their own generator, so every run of the
+    benches is reproducible. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** Generator seeded with the given integer. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]; [bound] must be positive. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller, spare cached). *)
+
+val log_uniform : t -> lo:float -> hi:float -> float
+(** Log-uniform in [[lo, hi]]; both bounds must be positive.  Natural for
+    resistances and conductances. *)

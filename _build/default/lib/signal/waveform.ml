@@ -1,0 +1,61 @@
+(* Input waveform models for the input-correlated experiments (paper
+   Section VI-C): square waves with randomly dithered timing, and correlated
+   port-current ensembles standing in for transistor bulk currents. *)
+
+open Pmtbr_la
+
+type wave = float -> float
+
+(* Square wave of the given period/amplitude with edges dithered: each
+   half-period boundary is shifted by a fixed random offset of at most
+   [dither] * period (drawn once, so the wave is a function).  [phase] moves
+   the whole pattern. *)
+let dithered_square ~rng ~period ~dither ?(amplitude = 1.0) ?(phase = 0.0) () =
+  (* Precompute dithers for edges within a long horizon, cyclically. *)
+  let n_edges = 256 in
+  let offsets =
+    Array.init n_edges (fun _ -> Rng.uniform rng ~lo:(-.dither *. period) ~hi:(dither *. period))
+  in
+  fun t ->
+    let t = t +. phase in
+    let half = period /. 2.0 in
+    let k = int_of_float (Float.floor (t /. half)) in
+    let k = if k < 0 then 0 else k in
+    let edge = (float_of_int k *. half) +. offsets.(k mod n_edges) in
+    let up = if t >= edge then k else k - 1 in
+    if (up land 1) = 0 then amplitude else 0.0
+
+(* Sample [waves] on a uniform time grid; returns a p x n matrix of samples
+   (one row per wave). *)
+let sample_matrix (waves : wave array) ~t0 ~t1 ~samples =
+  let p = Array.length waves in
+  let dt = (t1 -. t0) /. float_of_int (max 1 (samples - 1)) in
+  Mat.init p samples (fun i k -> waves.(i) (t0 +. (dt *. float_of_int k)))
+
+(* Correlated ensemble: [ports] waveforms built from [templates] shared
+   base waves mixed with random coefficients plus white noise of relative
+   size [noise].  This mimics port signals that originate from a few common
+   functional blocks. *)
+let correlated_ensemble ~rng ~ports ~templates ~noise =
+  let mix = Array.init ports (fun _ -> Array.init (Array.length templates) (fun _ -> Rng.gaussian rng)) in
+  Array.init ports (fun i ->
+      let coeffs = mix.(i) in
+      fun t ->
+        let acc = ref 0.0 in
+        Array.iteri (fun j (w : wave) -> acc := !acc +. (coeffs.(j) *. w t)) templates;
+        !acc +. (noise *. Rng.gaussian rng))
+
+(* The paper's Fig. 12/13 input class: every port carries the same-period
+   square wave, each with its own small timing dither and tiny phase
+   offset. *)
+let dithered_square_bank ~rng ~ports ~period ~dither =
+  Array.init ports (fun _ ->
+      let phase = Rng.uniform rng ~lo:0.0 ~hi:(0.02 *. period) in
+      dithered_square ~rng ~period ~dither ~phase ())
+
+(* The out-of-class variant for Fig. 14: same squares but with phases
+   re-randomised across the whole period. *)
+let scrambled_square_bank ~rng ~ports ~period ~dither =
+  Array.init ports (fun _ ->
+      let phase = Rng.uniform rng ~lo:0.0 ~hi:period in
+      dithered_square ~rng ~period ~dither ~phase ())

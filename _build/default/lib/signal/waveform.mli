@@ -1,0 +1,32 @@
+(** Input waveform models for the input-correlated experiments (paper
+    Section VI-C): square waves with randomly dithered timing, and
+    correlated port-current ensembles standing in for transistor bulk
+    currents. *)
+
+type wave = float -> float
+(** A scalar waveform of time (seconds). *)
+
+val dithered_square : rng:Rng.t -> period:float -> dither:float -> ?amplitude:float ->
+  ?phase:float -> unit -> wave
+(** Square wave (low level 0, high level [amplitude], default 1) whose edge
+    times are each shifted by a fixed random offset of at most
+    [dither * period].  The offsets are drawn once at construction, so the
+    result is a proper function of time.  [phase] shifts the pattern. *)
+
+val sample_matrix : wave array -> t0:float -> t1:float -> samples:int -> Pmtbr_la.Mat.t
+(** Sample the waveforms on a uniform grid: row [i] holds wave [i], one
+    column per time point. *)
+
+val correlated_ensemble : rng:Rng.t -> ports:int -> templates:wave array -> noise:float ->
+  wave array
+(** [ports] waveforms, each a random (gaussian) mixture of the shared
+    [templates] plus white noise of amplitude [noise]: signals that
+    originate from a few common functional blocks. *)
+
+val dithered_square_bank : rng:Rng.t -> ports:int -> period:float -> dither:float -> wave array
+(** The paper's Fig. 12/13 input class: same-period square waves with
+    per-port timing dither and small phase offsets. *)
+
+val scrambled_square_bank : rng:Rng.t -> ports:int -> period:float -> dither:float -> wave array
+(** The out-of-class variant for Fig. 14: phases re-randomised across the
+    whole period. *)

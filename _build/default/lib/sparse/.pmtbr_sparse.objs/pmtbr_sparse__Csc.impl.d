@@ -1,0 +1,1 @@
+lib/sparse/csc.ml: Array Cmat Complex List Mat Pmtbr_la Scalar Triplet

@@ -1,0 +1,1 @@
+lib/sparse/csc.mli: Cmat Complex Mat Pmtbr_la Scalar Triplet

@@ -1,0 +1,1 @@
+lib/sparse/ordering.ml: Array Int List Queue Set

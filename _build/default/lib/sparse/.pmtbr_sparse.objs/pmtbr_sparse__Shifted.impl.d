@@ -1,0 +1,1 @@
+lib/sparse/shifted.ml: Array Complex Csc Ordering Pmtbr_la Sparse_lu Triplet

@@ -1,0 +1,1 @@
+lib/sparse/shifted.mli: Complex Ordering Pmtbr_la Sparse_lu Triplet

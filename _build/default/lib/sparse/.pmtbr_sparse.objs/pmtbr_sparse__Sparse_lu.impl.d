@@ -1,0 +1,1 @@
+lib/sparse/sparse_lu.ml: Array Csc Ordering Pmtbr_la Scalar

@@ -1,0 +1,1 @@
+lib/sparse/sparse_lu.mli: Complex Csc Ordering Pmtbr_la Scalar

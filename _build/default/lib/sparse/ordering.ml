@@ -1,0 +1,96 @@
+(* Fill-reducing column orderings computed on the symmetrised nonzero
+   pattern of a square sparse matrix.  A permutation [p] means "eliminate
+   original index p.(k) at step k". *)
+
+module Int_set = Set.Make (Int)
+
+(* Symmetrised adjacency (pattern of A + A^T, no self loops). *)
+let adjacency (colptr : int array) (rowind : int array) n =
+  let adj = Array.make n Int_set.empty in
+  for j = 0 to n - 1 do
+    for k = colptr.(j) to colptr.(j + 1) - 1 do
+      let i = rowind.(k) in
+      if i <> j then begin
+        adj.(i) <- Int_set.add j adj.(i);
+        adj.(j) <- Int_set.add i adj.(j)
+      end
+    done
+  done;
+  adj
+
+let natural n = Array.init n (fun i -> i)
+
+(* Reverse Cuthill-McKee: BFS from a minimum-degree start node, neighbours
+   visited in increasing degree, final order reversed.  Reduces bandwidth,
+   which bounds fill for the banded-ish circuit matrices. *)
+let rcm (colptr : int array) (rowind : int array) n =
+  let adj = adjacency colptr rowind n in
+  let degree i = Int_set.cardinal adj.(i) in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let count = ref 0 in
+  while !count < n do
+    (* start a new component at its min-degree node *)
+    let start = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not visited.(i)) && (!start < 0 || degree i < degree !start) then start := i
+    done;
+    let queue = Queue.create () in
+    Queue.add !start queue;
+    visited.(!start) <- true;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      order := u :: !order;
+      incr count;
+      let nbrs =
+        Int_set.elements adj.(u)
+        |> List.filter (fun v -> not visited.(v))
+        |> List.sort (fun a b -> compare (degree a) (degree b))
+      in
+      List.iter
+        (fun v ->
+          visited.(v) <- true;
+          Queue.add v queue)
+        nbrs
+    done
+  done;
+  (* !order is already the reversed BFS order *)
+  Array.of_list !order
+
+(* Greedy minimum-degree on the quotient-free elimination graph: repeatedly
+   eliminate a lowest-degree node and clique its neighbourhood.  Quadratic
+   worst case but fine at circuit sizes (<= a few thousand nodes). *)
+let min_degree (colptr : int array) (rowind : int array) n =
+  let adj = adjacency colptr rowind n in
+  let eliminated = Array.make n false in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    let best = ref (-1) and best_deg = ref max_int in
+    for i = 0 to n - 1 do
+      if not eliminated.(i) then begin
+        let d = Int_set.cardinal adj.(i) in
+        if d < !best_deg then begin
+          best := i;
+          best_deg := d
+        end
+      end
+    done;
+    let u = !best in
+    order.(k) <- u;
+    eliminated.(u) <- true;
+    let nbrs = Int_set.filter (fun v -> not eliminated.(v)) adj.(u) in
+    Int_set.iter
+      (fun v ->
+        adj.(v) <- Int_set.remove u adj.(v);
+        adj.(v) <- Int_set.union adj.(v) (Int_set.remove v nbrs))
+      nbrs
+  done;
+  order
+
+type scheme = Natural | Rcm | Min_degree
+
+let compute scheme colptr rowind n =
+  match scheme with
+  | Natural -> natural n
+  | Rcm -> rcm colptr rowind n
+  | Min_degree -> min_degree colptr rowind n

@@ -1,0 +1,22 @@
+(** Fill-reducing column orderings computed on the symmetrised nonzero
+    pattern of a square sparse matrix.  A permutation [p] means "eliminate
+    original index [p.(k)] at step [k]". *)
+
+type scheme =
+  | Natural  (** identity ordering *)
+  | Rcm  (** reverse Cuthill-McKee: bandwidth reduction *)
+  | Min_degree  (** greedy minimum degree: fill reduction *)
+
+val natural : int -> int array
+(** Identity permutation. *)
+
+val rcm : int array -> int array -> int -> int array
+(** [rcm colptr rowind n] is the reverse Cuthill-McKee order of the pattern
+    given in CSC arrays.  Handles disconnected graphs. *)
+
+val min_degree : int array -> int array -> int -> int array
+(** Greedy minimum-degree order.  Quadratic worst case; fine at circuit
+    sizes (up to a few thousand nodes). *)
+
+val compute : scheme -> int array -> int array -> int -> int array
+(** Dispatch on the scheme. *)

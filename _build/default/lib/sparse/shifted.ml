@@ -1,0 +1,41 @@
+(* Factorisation of the shifted pencil (s E - A) for complex s, assembled
+   from real triplet accumulators.  This is the inner kernel of PMTBR: one
+   complex sparse factorisation per frequency sample. *)
+
+type pencil = { e : Triplet.t; a : Triplet.t; n : int }
+
+let pencil ~e ~a =
+  let re, ce = Triplet.dims e and ra, ca = Triplet.dims a in
+  let n = max (max re ce) (max ra ca) in
+  assert (re <= n && ce <= n && ra <= n && ca <= n);
+  { e; a; n }
+
+type factor = Sparse_lu.C.factor
+
+(* Factor (s E - A). *)
+let factorize ?(ordering = Ordering.Rcm) (p : pencil) (s : Complex.t) : factor =
+  let m = Csc.complex_combination ~alpha:s p.e ~beta:{ Complex.re = -1.0; im = 0.0 } p.a in
+  (* pad to n x n in case trailing rows/cols carry no entries *)
+  let m =
+    if m.Csc.C.rows = p.n && m.Csc.C.cols = p.n then m
+    else Csc.C.of_entries p.n p.n (Csc.C.to_entries m)
+  in
+  Sparse_lu.C.factorize ~ordering m
+
+(* Solve (sE - A) X = B for a dense real B; returns the complex columns. *)
+let solve_dense (f : factor) (b : Pmtbr_la.Mat.t) =
+  let n = b.Pmtbr_la.Mat.rows in
+  Array.init b.Pmtbr_la.Mat.cols (fun j ->
+      let rhs = Array.init n (fun i -> { Complex.re = Pmtbr_la.Mat.get b i j; im = 0.0 }) in
+      Sparse_lu.C.solve_vec f rhs)
+
+(* Solve (sE - A)^H X = B, used for the observability samples of the
+   cross-Gramian method: (sE - A)^H = conj(s) E^T - A^T for real E, A. *)
+let solve_hermitian_dense (f : factor) (b : Pmtbr_la.Mat.t) =
+  let n = b.Pmtbr_la.Mat.rows in
+  Array.init b.Pmtbr_la.Mat.cols (fun j ->
+      let rhs = Array.init n (fun i -> { Complex.re = Pmtbr_la.Mat.get b i j; im = 0.0 }) in
+      (* (sE-A)^H x = b  <=>  conj((sE-A)^T conj(x)) = b *)
+      let rhs_conj = Array.map Complex.conj rhs in
+      let y = Sparse_lu.C.solve_transposed_vec f rhs_conj in
+      Array.map Complex.conj y)

@@ -1,0 +1,26 @@
+(** Factorisation of the shifted pencil [(sE - A)] for complex [s],
+    assembled from real triplet accumulators.  This is the inner kernel of
+    PMTBR: one complex sparse factorisation per frequency sample. *)
+
+type pencil
+(** The pair (E, A) with an agreed square dimension. *)
+
+val pencil : e:Triplet.t -> a:Triplet.t -> pencil
+(** Bundle the two stamped matrices; the pencil dimension is the largest of
+    their dimensions. *)
+
+type factor = Sparse_lu.C.factor
+(** A complex sparse LU of [(sE - A)] at one shift. *)
+
+val factorize : ?ordering:Ordering.scheme -> pencil -> Complex.t -> factor
+(** [factorize p s] factors [(sE - A)] with the given fill-reducing
+    ordering (default {!Ordering.Rcm}). *)
+
+val solve_dense : factor -> Pmtbr_la.Mat.t -> Complex.t array array
+(** [solve_dense f b] solves [(sE - A) X = B] for a dense real [B]; one
+    complex column per column of [B]. *)
+
+val solve_hermitian_dense : factor -> Pmtbr_la.Mat.t -> Complex.t array array
+(** [solve_hermitian_dense f b] solves [(sE - A)^H X = B], reusing the same
+    factorisation; used for the observability samples of the cross-Gramian
+    method. *)

@@ -1,0 +1,285 @@
+(* Left-looking sparse LU with partial pivoting (Gilbert-Peierls), generic
+   over the scalar.  This is the workhorse behind every (sE - A) solve in
+   PMTBR, so both a real and a complex instance are exposed.
+
+   For each column, the nonzero pattern of the triangular solve L x = a_k is
+   found by depth-first search on the graph of the already-computed columns
+   of L, giving a topological order in which the numeric elimination is
+   performed in time proportional to flops. *)
+
+open Pmtbr_la
+
+module type S = sig
+  type elt
+
+  module M : Csc.S with type elt = elt
+
+  exception Singular of int
+
+  type factor
+
+  val factorize : ?ordering:Ordering.scheme -> M.t -> factor
+  val nnz : factor -> int
+  val solve_vec : factor -> elt array -> elt array
+  val solve_transposed_vec : factor -> elt array -> elt array
+  val solve_dense : factor -> M.t -> elt array array
+end
+
+module Make (K : Scalar.S) = struct
+  type elt = K.t
+
+  module M = Csc.Make (K)
+
+  exception Singular of int
+
+  type factor = {
+    n : int;
+    (* L in pivot coordinates, unit diagonal implicit *)
+    l_colptr : int array;
+    l_rowind : int array;
+    l_values : K.t array;
+    (* strictly-upper part of U, plus the diagonal separately *)
+    u_colptr : int array;
+    u_rowind : int array;
+    u_values : K.t array;
+    u_diag : K.t array;
+    pinv : int array; (* original row -> pivot position *)
+    q : int array; (* pivot column k came from original column q.(k) *)
+  }
+
+  type buf = { mutable data : (int * K.t) array; mutable len : int }
+
+  let buf_create () = { data = Array.make 16 (0, K.zero); len = 0 }
+
+  let buf_push b v =
+    if b.len = Array.length b.data then begin
+      let bigger = Array.make (2 * b.len) (0, K.zero) in
+      Array.blit b.data 0 bigger 0 b.len;
+      b.data <- bigger
+    end;
+    b.data.(b.len) <- v;
+    b.len <- b.len + 1
+
+  (* DFS from [start] over the column graph of L (node i has children = the
+     row indices of L's column pinv.(i), when i is already pivotal).  Pushes
+     nodes onto [topo] in reverse topological order. *)
+  let dfs ~start ~pinv ~l_cols ~(mark : int array) ~stamp ~(topo : int array) ~topo_len
+      ~(stack : int array) ~(child_pos : int array) =
+    let sp = ref 0 in
+    stack.(0) <- start;
+    mark.(start) <- stamp;
+    child_pos.(start) <- 0;
+    let tl = ref topo_len in
+    while !sp >= 0 do
+      let u = stack.(!sp) in
+      let children : buf option = if pinv.(u) >= 0 then Some l_cols.(pinv.(u)) else None in
+      let advanced = ref false in
+      (match children with
+      | None -> ()
+      | Some b ->
+          let k = ref child_pos.(u) in
+          let n = b.len in
+          let found = ref (-1) in
+          while !found < 0 && !k < n do
+            let r, _ = b.data.(!k) in
+            incr k;
+            if mark.(r) <> stamp then found := r
+          done;
+          child_pos.(u) <- !k;
+          if !found >= 0 then begin
+            advanced := true;
+            incr sp;
+            stack.(!sp) <- !found;
+            mark.(!found) <- stamp;
+            child_pos.(!found) <- 0
+          end);
+      if not !advanced then begin
+        (* all children visited: emit u *)
+        topo.(!tl) <- u;
+        incr tl;
+        decr sp
+      end
+    done;
+    !tl
+
+  let factorize ?(ordering = Ordering.Natural) (a : M.t) =
+    assert (a.M.rows = a.M.cols);
+    let n = a.M.rows in
+    let q = Ordering.compute ordering a.M.colptr a.M.rowind n in
+    let pinv = Array.make n (-1) in
+    let l_cols = Array.init n (fun _ -> buf_create ()) in
+    let u_cols = Array.init n (fun _ -> buf_create ()) in
+    let u_diag = Array.make n K.zero in
+    let x = Array.make n K.zero in
+    let mark = Array.make n (-1) in
+    let topo = Array.make n 0 in
+    let stack = Array.make n 0 in
+    let child_pos = Array.make n 0 in
+    for k = 0 to n - 1 do
+      let jcol = q.(k) in
+      (* symbolic: union of reaches of the rows of A(:, jcol) *)
+      let topo_len = ref 0 in
+      for p = a.M.colptr.(jcol) to a.M.colptr.(jcol + 1) - 1 do
+        let i = a.M.rowind.(p) in
+        if mark.(i) <> k then topo_len := dfs ~start:i ~pinv ~l_cols ~mark ~stamp:k ~topo ~topo_len:!topo_len ~stack ~child_pos
+      done;
+      let nz = !topo_len in
+      (* scatter the numeric column *)
+      for t = 0 to nz - 1 do
+        x.(topo.(t)) <- K.zero
+      done;
+      for p = a.M.colptr.(jcol) to a.M.colptr.(jcol + 1) - 1 do
+        x.(a.M.rowind.(p)) <- a.M.values.(p)
+      done;
+      (* numeric sparse triangular solve, in topological order (topo holds
+         reverse-topological, so walk backwards) *)
+      for t = nz - 1 downto 0 do
+        let i = topo.(t) in
+        let piv = pinv.(i) in
+        if piv >= 0 then begin
+          let xi = x.(i) in
+          if not (K.is_zero xi) then begin
+            let b = l_cols.(piv) in
+            for c = 0 to b.len - 1 do
+              let r, lv = b.data.(c) in
+              x.(r) <- K.sub x.(r) (K.mul lv xi)
+            done
+          end
+        end
+      done;
+      (* partial pivoting among non-pivotal rows *)
+      let pivrow = ref (-1) and pivmag = ref 0.0 in
+      for t = 0 to nz - 1 do
+        let i = topo.(t) in
+        if pinv.(i) < 0 then begin
+          let m = K.abs x.(i) in
+          if m > !pivmag then begin
+            pivmag := m;
+            pivrow := i
+          end
+        end
+      done;
+      if !pivrow < 0 || !pivmag = 0.0 then raise (Singular k);
+      let pivot = x.(!pivrow) in
+      pinv.(!pivrow) <- k;
+      u_diag.(k) <- pivot;
+      (* distribute entries into U (pivotal rows) and L (non-pivotal) *)
+      for t = 0 to nz - 1 do
+        let i = topo.(t) in
+        let piv = pinv.(i) in
+        if piv >= 0 && piv < k then buf_push u_cols.(k) (piv, x.(i))
+        else if i <> !pivrow then buf_push l_cols.(k) (i, K.div x.(i) pivot)
+      done
+    done;
+    (* finalise: renumber L's rows into pivot coordinates *)
+    let count_l = Array.fold_left (fun acc b -> acc + b.len) 0 l_cols in
+    let count_u = Array.fold_left (fun acc b -> acc + b.len) 0 u_cols in
+    let l_colptr = Array.make (n + 1) 0 in
+    let u_colptr = Array.make (n + 1) 0 in
+    let l_rowind = Array.make (max 1 count_l) 0 in
+    let l_values = Array.make (max 1 count_l) K.zero in
+    let u_rowind = Array.make (max 1 count_u) 0 in
+    let u_values = Array.make (max 1 count_u) K.zero in
+    let lp = ref 0 and up = ref 0 in
+    for k = 0 to n - 1 do
+      l_colptr.(k) <- !lp;
+      let b = l_cols.(k) in
+      for c = 0 to b.len - 1 do
+        let i, v = b.data.(c) in
+        l_rowind.(!lp) <- pinv.(i);
+        l_values.(!lp) <- v;
+        incr lp
+      done;
+      u_colptr.(k) <- !up;
+      let b = u_cols.(k) in
+      for c = 0 to b.len - 1 do
+        let i, v = b.data.(c) in
+        u_rowind.(!up) <- i;
+        u_values.(!up) <- v;
+        incr up
+      done
+    done;
+    l_colptr.(n) <- !lp;
+    u_colptr.(n) <- !up;
+    { n; l_colptr; l_rowind; l_values; u_colptr; u_rowind; u_values; u_diag; pinv; q }
+
+  let nnz f = Array.length f.l_rowind + Array.length f.u_rowind + f.n
+
+  let solve_vec f b =
+    let n = f.n in
+    assert (Array.length b = n);
+    (* y = P b *)
+    let y = Array.make n K.zero in
+    for i = 0 to n - 1 do
+      y.(f.pinv.(i)) <- b.(i)
+    done;
+    (* forward: L y' = y, column-oriented, unit diagonal *)
+    for k = 0 to n - 1 do
+      let yk = y.(k) in
+      if not (K.is_zero yk) then
+        for p = f.l_colptr.(k) to f.l_colptr.(k + 1) - 1 do
+          let r = f.l_rowind.(p) in
+          y.(r) <- K.sub y.(r) (K.mul f.l_values.(p) yk)
+        done
+    done;
+    (* backward: U z = y', column-oriented *)
+    for k = n - 1 downto 0 do
+      y.(k) <- K.div y.(k) f.u_diag.(k);
+      let yk = y.(k) in
+      if not (K.is_zero yk) then
+        for p = f.u_colptr.(k) to f.u_colptr.(k + 1) - 1 do
+          let r = f.u_rowind.(p) in
+          y.(r) <- K.sub y.(r) (K.mul f.u_values.(p) yk)
+        done
+    done;
+    (* undo the column permutation *)
+    let x = Array.make n K.zero in
+    for k = 0 to n - 1 do
+      x.(f.q.(k)) <- y.(k)
+    done;
+    x
+
+  (* Solve A^T x = b using the same factorisation: (LU)^T x' = ... *)
+  let solve_transposed_vec f b =
+    let n = f.n in
+    assert (Array.length b = n);
+    (* A = P^T L U Q^T  =>  A^T = Q U^T L^T P.  Solve U^T w = Q^T b, then
+       L^T z = w, then x = P^T z. *)
+    let w = Array.make n K.zero in
+    for k = 0 to n - 1 do
+      w.(k) <- b.(f.q.(k))
+    done;
+    (* U^T w' = w: row-oriented over U's columns ascending *)
+    for k = 0 to n - 1 do
+      let acc = ref w.(k) in
+      for p = f.u_colptr.(k) to f.u_colptr.(k + 1) - 1 do
+        let r = f.u_rowind.(p) in
+        acc := K.sub !acc (K.mul f.u_values.(p) w.(r))
+      done;
+      w.(k) <- K.div !acc f.u_diag.(k)
+    done;
+    (* L^T z = w: descending, unit diagonal *)
+    for k = n - 1 downto 0 do
+      let acc = ref w.(k) in
+      for p = f.l_colptr.(k) to f.l_colptr.(k + 1) - 1 do
+        let r = f.l_rowind.(p) in
+        acc := K.sub !acc (K.mul f.l_values.(p) w.(r))
+      done;
+      w.(k) <- !acc
+    done;
+    let x = Array.make n K.zero in
+    for i = 0 to n - 1 do
+      x.(i) <- w.(f.pinv.(i))
+    done;
+    x
+
+  let solve_dense f (b : M.t) =
+    (* solve for each column of a CSC right-hand side, returning columns *)
+    Array.init b.M.cols (fun j ->
+        let col = Array.make f.n K.zero in
+        M.iter_col b j (fun i v -> col.(i) <- v);
+        solve_vec f col)
+end
+
+module R = Make (Scalar.Float)
+module C = Make (Scalar.Cx)

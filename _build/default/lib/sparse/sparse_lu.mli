@@ -1,0 +1,40 @@
+(** Left-looking sparse LU with partial pivoting (Gilbert-Peierls), generic
+    over the scalar — the workhorse behind every [(sE - A)] solve in PMTBR.
+    The nonzero pattern of each column's triangular solve is found by
+    depth-first search on the graph of the computed L columns, so the
+    numeric work is proportional to the arithmetic performed. *)
+
+open Pmtbr_la
+
+module type S = sig
+  type elt
+
+  module M : Csc.S with type elt = elt
+
+  exception Singular of int
+  (** Raised with the failing column when no nonzero pivot exists. *)
+
+  type factor
+  (** A computed factorisation [P A Q = L U]. *)
+
+  val factorize : ?ordering:Ordering.scheme -> M.t -> factor
+  (** Factor a square CSC matrix with the given column pre-ordering
+      (default {!Ordering.Natural}) and partial row pivoting. *)
+
+  val nnz : factor -> int
+  (** Nonzeros in L + U (including the unit diagonal), a fill measure. *)
+
+  val solve_vec : factor -> elt array -> elt array
+  (** Solve [A x = b]. *)
+
+  val solve_transposed_vec : factor -> elt array -> elt array
+  (** Solve [A^T x = b] with the same factorisation. *)
+
+  val solve_dense : factor -> M.t -> elt array array
+  (** Solve for each column of a sparse right-hand side. *)
+end
+
+module Make (K : Scalar.S) : S with type elt = K.t
+
+module R : S with type elt = float and module M = Csc.R
+module C : S with type elt = Complex.t and module M = Csc.C

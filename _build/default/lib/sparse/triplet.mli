@@ -1,0 +1,44 @@
+(** Coordinate-format accumulator used while stamping circuit matrices.
+    Dimensions grow automatically with the largest index seen; entries at
+    the same (row, col) are summed on conversion to CSC. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is an empty accumulator with initial dimensions. *)
+
+val add : t -> int -> int -> float -> unit
+(** [add t i j v] accumulates [v] at position [(i, j)], growing the
+    dimensions if needed.  Zero values still grow the dimensions but store
+    no entry. *)
+
+val entries : t -> (int * int * float) list
+(** All stored entries, unmerged. *)
+
+val dims : t -> int * int
+(** Current (rows, cols). *)
+
+val nnz : t -> int
+(** Number of stored (unmerged) entries. *)
+
+val copy : t -> t
+(** Snapshot; further [add]s to either side do not affect the other. *)
+
+val axpby : float -> t -> float -> t -> t
+(** [axpby alpha a beta b] accumulates [alpha*a + beta*b]. *)
+
+val to_dense : t -> Pmtbr_la.Mat.t
+(** Dense matrix with duplicates summed. *)
+
+val transpose : t -> t
+(** Transposed accumulator. *)
+
+val mv : t -> float array -> float array
+(** Matrix-vector product straight off the triplets. *)
+
+val mv_transposed : t -> float array -> float array
+(** Transposed matrix-vector product. *)
+
+val mul_dense : t -> Pmtbr_la.Mat.t -> Pmtbr_la.Mat.t
+(** [mul_dense t m] is the dense product [t * m]; used to form [E*V] during
+    congruence projection. *)

@@ -1,0 +1,1 @@
+test/test_la.ml: Alcotest Array Chol Cmat Complex Cschur Cvec Eig_sym Float List Lyap Mat Pmtbr_la QCheck2 QCheck_alcotest Qr Riccati Subspace Svd Vec

@@ -1,0 +1,1 @@
+test/test_lti.ml: Alcotest Array Cmat Complex Dss Eig_sym Float Freq Gramian List Lyap Mat Netlist Pmtbr_circuit Pmtbr_la Pmtbr_lti QCheck2 QCheck_alcotest Qr Rc_line Rc_mesh Spiral Tbr Tdsim Vec

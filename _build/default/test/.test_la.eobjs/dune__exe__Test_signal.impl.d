@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Correlation Eig_sym Float List Mat Pmtbr_la Pmtbr_signal QCheck2 QCheck_alcotest Qr Quad Rng Svd Vec Waveform

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Cmat Complex Csc Cvec Float List Mat Ordering Pmtbr_la Pmtbr_sparse QCheck2 QCheck_alcotest Shifted Sparse_lu Triplet Vec

@@ -1,0 +1,191 @@
+(* Integration tests: complete flows across the library boundaries,
+   mirroring how a downstream user wires the pieces together. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+open Pmtbr_circuit
+open Pmtbr_core
+
+(* ------------------------------------------------------------------ *)
+(* Flow 1: SPICE text -> parse -> reduce -> frequency validation        *)
+(* ------------------------------------------------------------------ *)
+
+let test_spice_to_reduced_model () =
+  (* export a generated circuit, re-import it, reduce the import and check
+     the reduced model against the original generator's system *)
+  let original = Rc_line.generate ~sections:40 () in
+  let text = Spice.to_string original in
+  let imported = Dss.of_netlist (Spice.netlist (Spice.parse_string text)) in
+  let reduced = Pmtbr.reduce_uniform ~order:8 imported ~w_max:3e9 ~count:20 in
+  let reference = Dss.of_netlist original in
+  let om = Vec.linspace 0.0 3e9 25 in
+  let err = Freq.max_rel_error (Freq.sweep reference om) (Freq.sweep reduced.Pmtbr.rom om) in
+  if err > 1e-6 then Alcotest.failf "spice->reduce flow error %g" err
+
+(* ------------------------------------------------------------------ *)
+(* Flow 2: all reduction methods agree on an easy circuit               *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_methods_agree () =
+  let sys = Dss.of_netlist (Rc_line.generate ~sections:30 ()) in
+  let w_max = 3e9 in
+  let pts = Sampling.points (Sampling.Uniform { w_max }) ~count:24 in
+  let om = Vec.linspace 0.0 w_max 25 in
+  let href = Freq.sweep sys om in
+  let check name rom limit =
+    let err = Freq.max_rel_error href (Freq.sweep rom om) in
+    if err > limit then Alcotest.failf "%s error %g > %g" name err limit
+  in
+  check "pmtbr" (Pmtbr.reduce ~order:10 sys pts).Pmtbr.rom 1e-7;
+  check "adaptive" (Pmtbr.reduce_adaptive ~tol:1e-10 sys pts).Pmtbr.rom 1e-6;
+  check "rrqr" (Pmtbr.reduce_adaptive_rrqr ~tol:1e-10 sys pts).Pmtbr.rom 1e-6;
+  check "tbr" (Tbr.reduce_dss ~order:10 sys).Tbr.rom 1e-4;
+  check "prima" (Prima.reduce_to_order sys ~s0:(w_max /. 10.0) ~order:10).Prima.rom 1e-6;
+  check "multipoint" (Multipoint.reduce sys (Sampling.spread_order pts) ~count:5).Multipoint.rom 1e-6;
+  check "cross" (Cross_gramian.reduce ~order:10 sys pts).Cross_gramian.rom 1e-6;
+  check "two-step" (Two_step.reduce sys ~s0:(w_max /. 10.0) ~intermediate:20 ~order:10 ()).Two_step.rom 1e-4
+
+(* ------------------------------------------------------------------ *)
+(* Flow 3: reduce -> transient -> compare against full, multiport       *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiport_transient_flow () =
+  let sys = Dss.of_netlist (Coupled_bus.generate ~lines:3 ~sections:15 ()) in
+  let w = Coupled_bus.bandwidth ~sections:15 () in
+  let r = Pmtbr.reduce_uniform ~order:18 sys ~w_max:w ~count:16 in
+  (* drive line 0 with a ramp-edge pulse; observe victim line 1 *)
+  let rise = 4.0 /. w in
+  let u t = [| Float.min 1e-3 (Float.max 0.0 (1e-3 *. t /. rise)); 0.0; 0.0 |] in
+  let t1 = 40.0 *. rise and dt = rise /. 10.0 in
+  let full = Tdsim.simulate sys ~t0:0.0 ~t1 ~dt ~u in
+  let red = Tdsim.simulate r.Pmtbr.rom ~t0:0.0 ~t1 ~dt ~u in
+  let scale = Mat.max_abs full.Tdsim.outputs in
+  List.iter
+    (fun row ->
+      let e = Tdsim.output_rms_error ~row full red in
+      if e > 1e-3 *. scale then Alcotest.failf "row %d transient error %g" row e)
+    [ 0; 1; 2 ];
+  (* the crosstalk on line 1 must itself be nontrivial, or the test is vacuous *)
+  let xtalk = ref 0.0 in
+  for k = 0 to Array.length full.Tdsim.times - 1 do
+    xtalk := Float.max !xtalk (Float.abs (Mat.get full.Tdsim.outputs 1 k))
+  done;
+  Alcotest.(check bool) "crosstalk visible" true (!xtalk > 1e-4 *. scale)
+
+(* ------------------------------------------------------------------ *)
+(* Flow 4: frequency- and time-domain reductions agree                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pod_vs_pmtbr_subspaces () =
+  (* trained on a step, POD and PMTBR should both capture the dominant
+     low-frequency behaviour: their reduced models agree with the full
+     system (and hence each other) at low frequency *)
+  let sys = Dss.of_netlist (Rc_line.generate ~sections:25 ()) in
+  let pm = Pmtbr.reduce_uniform ~order:6 sys ~w_max:1e9 ~count:16 in
+  let pod = Time_sampled.reduce ~order:6 sys ~u:(fun _ -> [| 1e-3 |]) ~t1:30e-9 ~dt:0.03e-9 ~snapshots:120 in
+  let om = Vec.linspace 0.0 5e8 15 in
+  let href = Freq.sweep sys om in
+  let e_pm = Freq.max_rel_error href (Freq.sweep pm.Pmtbr.rom om) in
+  let e_pod = Freq.max_rel_error href (Freq.sweep pod.Time_sampled.rom om) in
+  if e_pm > 1e-6 then Alcotest.failf "pmtbr low-band error %g" e_pm;
+  if e_pod > 1e-2 then Alcotest.failf "pod low-band error %g" e_pod
+
+(* ------------------------------------------------------------------ *)
+(* Flow 5: the full Fig. 13 pipeline on a smaller instance              *)
+(* ------------------------------------------------------------------ *)
+
+let test_input_correlated_pipeline () =
+  let ports = 16 in
+  let sys = Dss.of_netlist (Rc_mesh.generate ~rows:6 ~cols:6 ~ports ()) in
+  let rng = Pmtbr_signal.Rng.create 5 in
+  let period = 2e-9 in
+  let waves = Pmtbr_signal.Waveform.dithered_square_bank ~rng ~ports ~period ~dither:0.1 in
+  let waves = Array.map (fun w t -> 1e-3 *. w t) waves in
+  let inputs = Pmtbr_signal.Waveform.sample_matrix waves ~t0:0.0 ~t1:(4.0 *. period) ~samples:300 in
+  let pts = Sampling.points (Sampling.Uniform { w_max = 2.0 *. Float.pi *. 8.0 /. period }) ~count:10 in
+  let ic = Input_correlated.reduce ~order:10 ~input_tol:1e-3 sys ~inputs ~points:pts ~draws:30 in
+  let u t = Array.map (fun w -> w t) waves in
+  let full = Tdsim.simulate sys ~t0:0.0 ~t1:8e-9 ~dt:0.02e-9 ~u in
+  let red = Tdsim.simulate ic.Input_correlated.rom ~t0:0.0 ~t1:8e-9 ~dt:0.02e-9 ~u in
+  let scale = Mat.max_abs full.Tdsim.outputs in
+  let e = Tdsim.output_rms_error full red in
+  if e > 5e-3 *. scale then Alcotest.failf "ic pipeline error %g (scale %g)" e scale
+
+(* ------------------------------------------------------------------ *)
+(* Flow 6: stability/passivity of every method's reduced model          *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_reduced_models_stable () =
+  let sys = Dss.of_netlist (Rc_mesh.generate ~rows:5 ~cols:5 ~ports:2 ()) in
+  let w_max = 1e10 in
+  let pts = Sampling.points (Sampling.Uniform { w_max }) ~count:12 in
+  let roms =
+    [
+      ("pmtbr", (Pmtbr.reduce ~order:6 sys pts).Pmtbr.rom);
+      ("tbr", (Tbr.reduce_dss ~order:6 sys).Tbr.rom);
+      ("prima", (Prima.reduce_to_order sys ~s0:1e9 ~order:6).Prima.rom);
+      ("cross", (Cross_gramian.reduce ~order:6 sys pts).Cross_gramian.rom);
+    ]
+  in
+  List.iter
+    (fun (name, rom) ->
+      if not (Stability.is_stable ~tol:1e-2 rom) then
+        Alcotest.failf "%s reduced model unstable (abscissa %g)" name
+          (Stability.spectral_abscissa rom))
+    roms
+
+(* ------------------------------------------------------------------ *)
+(* Flow 7: descriptor system with singular E end-to-end                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_singular_e_flow () =
+  (* the PEEC chain has cap-less internal nodes: E singular.  TBR must
+     refuse (Singular) while PMTBR reduces and simulates fine - the paper's
+     Section V-A claim. *)
+  let sys = Dss.of_netlist (Peec.generate ~cells:8 ()) in
+  (try
+     ignore (Tbr.reduce_dss ~order:6 sys);
+     Alcotest.fail "TBR should fail on singular E"
+   with Mat.Singular _ -> ());
+  let w_max = Peec.sample_band () /. 2.0 in
+  let r = Pmtbr.reduce ~order:20 sys (Sampling.points (Sampling.Uniform { w_max }) ~count:24) in
+  let om = Vec.linspace (w_max /. 100.0) w_max 30 in
+  let err = Freq.max_rel_error (Freq.sweep sys om) (Freq.sweep r.Pmtbr.rom om) in
+  if err > 1e-2 then Alcotest.failf "pmtbr on singular-E error %g" err
+
+(* ------------------------------------------------------------------ *)
+(* Flow 8: error estimates are actionable                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_control_end_to_end () =
+  (* ask for a target accuracy through the tolerance; verify the delivered
+     model meets a proportional actual accuracy *)
+  let sys = Dss.of_netlist (Rc_line.generate ~sections:35 ()) in
+  let pts = Sampling.points (Sampling.Uniform { w_max = 3e9 }) ~count:30 in
+  let om = Vec.linspace 0.0 3e9 30 in
+  let href = Freq.sweep sys om in
+  List.iter
+    (fun tol ->
+      let r = Pmtbr.reduce ~tol sys pts in
+      let err = Freq.max_rel_error href (Freq.sweep r.Pmtbr.rom om) in
+      (* allow two orders of magnitude of slack between the singular-value
+         tolerance and the realised response error *)
+      if err > tol *. 1e2 +. 1e-13 then
+        Alcotest.failf "tol %g delivered err %g (order %d)" tol err (Dss.order r.Pmtbr.rom))
+    [ 1e-4; 1e-6; 1e-8 ]
+
+let () =
+  Alcotest.run "pmtbr_integration"
+    [
+      ( "flows",
+        [
+          Alcotest.test_case "spice -> reduce" `Quick test_spice_to_reduced_model;
+          Alcotest.test_case "all methods agree" `Quick test_all_methods_agree;
+          Alcotest.test_case "multiport transient" `Quick test_multiport_transient_flow;
+          Alcotest.test_case "pod vs pmtbr" `Quick test_pod_vs_pmtbr_subspaces;
+          Alcotest.test_case "input-correlated pipeline" `Quick test_input_correlated_pipeline;
+          Alcotest.test_case "all reduced models stable" `Quick test_all_reduced_models_stable;
+          Alcotest.test_case "singular E flow" `Quick test_singular_e_flow;
+          Alcotest.test_case "order control end-to-end" `Quick test_order_control_end_to_end;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* Tests for the sparse substrate: CSC assembly, orderings, sparse LU. *)
+
+open Pmtbr_la
+open Pmtbr_sparse
+
+let check_small ?(tol = 1e-9) msg value =
+  if Float.abs value > tol then Alcotest.failf "%s: |%.3e| > %g" msg value tol
+
+(* A sparse diagonally dominant test matrix shaped like a 1-D Laplacian with
+   a few random long-range couplings. *)
+let laplacian_like ?(seed = 1) n =
+  let t = Triplet.create n n in
+  for i = 0 to n - 1 do
+    Triplet.add t i i 4.0;
+    if i > 0 then Triplet.add t i (i - 1) (-1.0);
+    if i < n - 1 then Triplet.add t i (i + 1) (-1.0)
+  done;
+  let r = Mat.random ~seed 8 2 in
+  for k = 0 to 7 do
+    let i = abs (int_of_float (Mat.get r k 0 *. 1000.0)) mod n in
+    let j = abs (int_of_float (Mat.get r k 1 *. 1000.0)) mod n in
+    if i <> j then Triplet.add t i j (-0.3)
+  done;
+  t
+
+let test_triplet_roundtrip () =
+  let t = Triplet.create 3 3 in
+  Triplet.add t 0 0 1.0;
+  Triplet.add t 0 0 2.0;
+  (* duplicate: summed *)
+  Triplet.add t 2 1 5.0;
+  let m = Csc.of_triplet t in
+  Alcotest.(check (float 0.0)) "summed dup" 3.0 (Csc.R.get m 0 0);
+  Alcotest.(check (float 0.0)) "entry" 5.0 (Csc.R.get m 2 1);
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Csc.R.get m 1 1);
+  Alcotest.(check int) "nnz" 2 (Csc.R.nnz m)
+
+let test_csc_mv () =
+  let t = laplacian_like 20 in
+  let m = Csc.of_triplet t in
+  let d = Csc.to_dense m in
+  let x = Array.init 20 (fun i -> sin (float_of_int i)) in
+  check_small "mv vs dense" (Vec.max_abs_diff (Csc.R.mv m x) (Mat.mv d x));
+  check_small "mv^T vs dense" (Vec.max_abs_diff (Csc.R.mv_transposed m x) (Mat.mv_transposed d x))
+
+let test_csc_transpose () =
+  let t = laplacian_like ~seed:3 15 in
+  let m = Csc.of_triplet t in
+  let mt = Csc.R.transpose m in
+  let d = Csc.to_dense m and dt = Csc.to_dense mt in
+  check_small "transpose" (Mat.frobenius (Mat.sub dt (Mat.transpose d)))
+
+let test_csc_add_scale () =
+  let t = laplacian_like ~seed:5 10 in
+  let m = Csc.of_triplet t in
+  let two_m = Csc.R.add m m in
+  let d = Csc.to_dense m in
+  check_small "add" (Mat.frobenius (Mat.sub (Csc.to_dense two_m) (Mat.scale 2.0 d)));
+  let sm = Csc.R.scale 3.0 m in
+  check_small "scale" (Mat.frobenius (Mat.sub (Csc.to_dense sm) (Mat.scale 3.0 d)))
+
+let test_complex_combination () =
+  let e = Triplet.create 2 2 in
+  Triplet.add e 0 0 1.0;
+  Triplet.add e 1 1 2.0;
+  let a = Triplet.create 2 2 in
+  Triplet.add a 0 1 1.0;
+  Triplet.add a 1 0 (-1.0);
+  let s = { Complex.re = 0.0; im = 3.0 } in
+  let m = Csc.complex_combination ~alpha:s e ~beta:{ Complex.re = -1.0; im = 0.0 } a in
+  let d = Csc.to_dense_complex m in
+  (* sE - A = [[3i, -1], [1, 6i]] *)
+  let expect = Cmat.of_arrays
+      [| [| { Complex.re = 0.0; im = 3.0 }; { Complex.re = -1.0; im = 0.0 } |];
+         [| { Complex.re = 1.0; im = 0.0 }; { Complex.re = 0.0; im = 6.0 } |] |]
+  in
+  check_small "sE - A" (Cmat.frobenius (Cmat.sub d expect))
+
+let permutation_ok name p n =
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then Alcotest.failf "%s: invalid permutation" name;
+      seen.(i) <- true)
+    p;
+  Alcotest.(check int) (name ^ " length") n (Array.length p)
+
+let test_orderings_are_permutations () =
+  let t = laplacian_like ~seed:7 30 in
+  let m = Csc.of_triplet t in
+  permutation_ok "natural" (Ordering.compute Ordering.Natural m.Csc.R.colptr m.Csc.R.rowind 30) 30;
+  permutation_ok "rcm" (Ordering.compute Ordering.Rcm m.Csc.R.colptr m.Csc.R.rowind 30) 30;
+  permutation_ok "min_degree" (Ordering.compute Ordering.Min_degree m.Csc.R.colptr m.Csc.R.rowind 30) 30
+
+let test_rcm_reduces_bandwidth () =
+  (* a star graph has terrible natural bandwidth; RCM should not *increase*
+     the profile of a path graph shuffled at random *)
+  let n = 40 in
+  let t = Triplet.create n n in
+  (* random relabelled path *)
+  let label = Array.init n (fun i -> (i * 17) mod n) in
+  for i = 0 to n - 1 do
+    Triplet.add t label.(i) label.(i) 4.0
+  done;
+  for i = 0 to n - 2 do
+    Triplet.add t label.(i) label.(i + 1) (-1.0);
+    Triplet.add t label.(i + 1) label.(i) (-1.0)
+  done;
+  let m = Csc.of_triplet t in
+  let p = Ordering.rcm m.Csc.R.colptr m.Csc.R.rowind n in
+  (* inverse permutation: position of each node in the order *)
+  let pos = Array.make n 0 in
+  Array.iteri (fun k i -> pos.(i) <- k) p;
+  let bw = ref 0 in
+  for i = 0 to n - 2 do
+    bw := max !bw (abs (pos.(label.(i)) - pos.(label.(i + 1))))
+  done;
+  if !bw > 2 then Alcotest.failf "rcm bandwidth %d on a path" !bw
+
+let sparse_solve_check ?(ordering = Ordering.Natural) t =
+  let m = Csc.of_triplet t in
+  let n = m.Csc.R.rows in
+  let f = Sparse_lu.R.factorize ~ordering m in
+  let b = Array.init n (fun i -> cos (float_of_int i)) in
+  let x = Sparse_lu.R.solve_vec f b in
+  check_small ~tol:1e-9 "Ax - b" (Vec.max_abs_diff (Csc.R.mv m x) b);
+  let xt = Sparse_lu.R.solve_transposed_vec f b in
+  check_small ~tol:1e-9 "A^T x - b" (Vec.max_abs_diff (Csc.R.mv_transposed m xt) b)
+
+let test_sparse_lu_natural () = sparse_solve_check (laplacian_like ~seed:11 50)
+let test_sparse_lu_rcm () = sparse_solve_check ~ordering:Ordering.Rcm (laplacian_like ~seed:13 50)
+
+let test_sparse_lu_min_degree () =
+  sparse_solve_check ~ordering:Ordering.Min_degree (laplacian_like ~seed:17 50)
+
+let test_sparse_lu_vs_dense () =
+  let t = laplacian_like ~seed:19 25 in
+  let m = Csc.of_triplet t in
+  let d = Csc.to_dense m in
+  let b = Array.init 25 (fun i -> float_of_int (i mod 5) -. 2.0) in
+  let xs = Sparse_lu.R.solve_vec (Sparse_lu.R.factorize m) b in
+  let xd = Mat.solve_vec d b in
+  check_small ~tol:1e-9 "sparse vs dense" (Vec.max_abs_diff xs xd)
+
+let test_sparse_lu_singular () =
+  let t = Triplet.create 3 3 in
+  Triplet.add t 0 0 1.0;
+  Triplet.add t 1 1 1.0;
+  (* row/col 2 empty -> structurally singular *)
+  let m = Csc.R.of_entries 3 3 (Triplet.entries t) in
+  (try
+     ignore (Sparse_lu.R.factorize m);
+     Alcotest.fail "expected Singular"
+   with Sparse_lu.R.Singular _ -> ())
+
+let test_sparse_lu_needs_pivoting () =
+  (* zero diagonal forces row pivoting *)
+  let t = Triplet.create 2 2 in
+  Triplet.add t 0 1 1.0;
+  Triplet.add t 1 0 1.0;
+  let m = Csc.of_triplet t in
+  let f = Sparse_lu.R.factorize m in
+  let x = Sparse_lu.R.solve_vec f [| 3.0; 4.0 |] in
+  check_small "pivoted solve" (Vec.max_abs_diff x [| 4.0; 3.0 |])
+
+let test_complex_sparse_lu () =
+  let e = laplacian_like ~seed:23 30 in
+  let a = Triplet.create 30 30 in
+  for i = 0 to 29 do
+    Triplet.add a i i (-1.0 -. (0.1 *. float_of_int i))
+  done;
+  let p = Shifted.pencil ~e ~a in
+  let s = { Complex.re = 0.1; im = 2.0 } in
+  let f = Shifted.factorize p s in
+  let b = Mat.random ~seed:29 30 2 in
+  let cols = Shifted.solve_dense f b in
+  (* residual against the dense assembly *)
+  let dm =
+    Cmat.axpby_real ~alpha:s (Csc.to_dense (Csc.of_triplet e)) ~beta:{ Complex.re = -1.0; im = 0.0 }
+      (Csc.to_dense (Csc.of_triplet a))
+  in
+  Array.iteri
+    (fun j x ->
+      let r = Cvec.sub (Cmat.mv dm x) (Array.init 30 (fun i -> { Complex.re = Mat.get b i j; im = 0.0 })) in
+      check_small ~tol:1e-9 "complex shifted residual" (Cvec.max_abs r))
+    cols
+
+let test_shifted_hermitian_solve () =
+  let e = laplacian_like ~seed:31 20 in
+  let a = Triplet.create 20 20 in
+  for i = 0 to 19 do
+    Triplet.add a i i (-2.0);
+    if i > 0 then Triplet.add a i (i - 1) 0.5
+  done;
+  let p = Shifted.pencil ~e ~a in
+  let s = { Complex.re = 0.3; im = 1.5 } in
+  let f = Shifted.factorize p s in
+  let b = Mat.random ~seed:37 20 1 in
+  let x = (Shifted.solve_hermitian_dense f b).(0) in
+  let dm =
+    Cmat.axpby_real ~alpha:s (Csc.to_dense (Csc.of_triplet e)) ~beta:{ Complex.re = -1.0; im = 0.0 }
+      (Csc.to_dense (Csc.of_triplet a))
+  in
+  let r =
+    Cvec.sub
+      (Cmat.mv (Cmat.conj_transpose dm) x)
+      (Array.init 20 (fun i -> { Complex.re = Mat.get b i 0; im = 0.0 }))
+  in
+  check_small ~tol:1e-9 "hermitian solve residual" (Cvec.max_abs r)
+
+(* property: sparse LU solves random sparse diagonally dominant systems *)
+let prop_sparse_lu =
+  QCheck2.Test.make ~name:"sparse lu solves dd systems" ~count:30
+    QCheck2.Gen.(pair (int_range 3 60) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let t = laplacian_like ~seed n in
+      let m = Csc.of_triplet t in
+      let f = Sparse_lu.R.factorize ~ordering:Ordering.Rcm m in
+      let b = Array.init n (fun i -> float_of_int ((i mod 7) - 3)) in
+      let x = Sparse_lu.R.solve_vec f b in
+      Vec.max_abs_diff (Csc.R.mv m x) b < 1e-8)
+
+let prop_orderings_preserve_solution =
+  QCheck2.Test.make ~name:"solution independent of ordering" ~count:20
+    QCheck2.Gen.(pair (int_range 3 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let t = laplacian_like ~seed n in
+      let m = Csc.of_triplet t in
+      let b = Array.init n (fun i -> sin (float_of_int (i * i))) in
+      let solve o = Sparse_lu.R.solve_vec (Sparse_lu.R.factorize ~ordering:o m) b in
+      let x1 = solve Ordering.Natural and x2 = solve Ordering.Rcm and x3 = solve Ordering.Min_degree in
+      Vec.max_abs_diff x1 x2 < 1e-8 && Vec.max_abs_diff x1 x3 < 1e-8)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_sparse_lu; prop_orderings_preserve_solution ]
+
+let () =
+  Alcotest.run "pmtbr_sparse"
+    [
+      ( "csc",
+        [
+          Alcotest.test_case "triplet roundtrip" `Quick test_triplet_roundtrip;
+          Alcotest.test_case "mv" `Quick test_csc_mv;
+          Alcotest.test_case "transpose" `Quick test_csc_transpose;
+          Alcotest.test_case "add/scale" `Quick test_csc_add_scale;
+          Alcotest.test_case "complex combination" `Quick test_complex_combination;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "permutations valid" `Quick test_orderings_are_permutations;
+          Alcotest.test_case "rcm bandwidth on path" `Quick test_rcm_reduces_bandwidth;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "natural" `Quick test_sparse_lu_natural;
+          Alcotest.test_case "rcm" `Quick test_sparse_lu_rcm;
+          Alcotest.test_case "min degree" `Quick test_sparse_lu_min_degree;
+          Alcotest.test_case "vs dense" `Quick test_sparse_lu_vs_dense;
+          Alcotest.test_case "singular raises" `Quick test_sparse_lu_singular;
+          Alcotest.test_case "needs pivoting" `Quick test_sparse_lu_needs_pivoting;
+          Alcotest.test_case "complex shifted" `Quick test_complex_sparse_lu;
+          Alcotest.test_case "hermitian shifted" `Quick test_shifted_hermitian_solve;
+        ] );
+      ("properties", props);
+    ]
