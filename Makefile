@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# the full CI gate: build + every suite + determinism re-check
+check:
+	sh bin/ci.sh
+
+# regenerate BENCH_shift.json (fails if the rc-mesh speedup gate regresses)
+bench:
+	dune exec bench/shift_bench.exe
+
+clean:
+	dune clean

@@ -1,0 +1,162 @@
+(* Wall-clock benchmark of the parallel multi-shift sampling engine.
+
+   Measures the ZW assembly (the entire cost of PMTBR) on two substrates —
+   an RC mesh and the spiral inductor — along three axes:
+
+   - baseline: the legacy per-point path (one full symbolic + numeric
+     factorisation per shift, serial), exactly what Zmat.build did before
+     the engine existed;
+   - engine at 1 / 2 / 4 / 8 workers: shared symbolic analysis, numeric
+     refactorisation per shift, domain pool.
+
+   Emits BENCH_shift.json in the current directory with the speedup curve
+   relative to the baseline, plus a bitwise-determinism check of parallel
+   against serial assembly.  Run from the repo root:
+
+     dune exec bench/shift_bench.exe *)
+
+open Pmtbr_la
+open Pmtbr_lti
+open Pmtbr_core
+
+let now () = Unix.gettimeofday ()
+
+(* Best of [reps] to shave scheduler noise. *)
+let time_best ?(reps = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = now () in
+    let r = f () in
+    let dt = now () -. t0 in
+    if dt < !best then begin
+      best := dt;
+      result := Some r
+    end
+  done;
+  (Option.get !result, !best)
+
+(* The legacy serial path: full factorisation per point, fold of hcat. *)
+let baseline_build sys pts =
+  let rhs = Dss.b_matrix sys in
+  let blocks = Array.map (Zmat.point_block sys ~rhs) pts in
+  match Array.to_list blocks with
+  | [] -> invalid_arg "no points"
+  | first :: rest -> List.fold_left Mat.hcat first rest
+
+let bitwise_equal (a : Mat.t) (b : Mat.t) =
+  a.Mat.rows = b.Mat.rows && a.Mat.cols = b.Mat.cols && a.Mat.data = b.Mat.data
+
+type run_record = {
+  workers : int; (* requested *)
+  actual : int; (* pool size after the hardware cap *)
+  wall_s : float;
+  factor_s : float;
+  solve_s : float;
+  util : float;
+  speedup : float;
+}
+
+let bench_substrate ~name ~(sys : Dss.t) ~points =
+  Printf.eprintf "[shift_bench] %s: %d states, %d ports, %d points\n%!" name (Dss.order sys)
+    (Dss.inputs sys) (Array.length points);
+  let z_base, base_s = time_best (fun () -> baseline_build sys points) in
+  Printf.eprintf "[shift_bench]   baseline (legacy serial) %.3f s\n%!" base_s;
+  let z_serial = Shift_engine.build ~workers:1 sys points in
+  if not (bitwise_equal z_base z_serial) then begin
+    (* the engine's refactorised numerics may differ from the legacy path in
+       the last bits; report the departure but do not fail the bench *)
+    let d = Mat.max_abs (Mat.sub z_base z_serial) in
+    let scale = Float.max (Mat.max_abs z_base) 1e-300 in
+    Printf.eprintf "[shift_bench]   note: engine vs legacy max |diff| = %.3e (%.3e relative)\n%!"
+      d (d /. scale)
+  end;
+  let runs =
+    List.map
+      (fun w ->
+        let (zw, st), wall =
+          time_best (fun () -> Shift_engine.build_stats ~workers:w sys points)
+        in
+        if not (bitwise_equal zw z_serial) then
+          failwith
+            (Printf.sprintf "DETERMINISM VIOLATION: %s at %d workers differs from serial" name w);
+        let r =
+          {
+            workers = w;
+            actual = st.Shift_engine.workers;
+            wall_s = wall;
+            factor_s = st.Shift_engine.factor_s;
+            solve_s = st.Shift_engine.solve_s;
+            util = Shift_engine.utilisation st;
+            speedup = base_s /. wall;
+          }
+        in
+        Printf.eprintf
+          "[shift_bench]   %d worker(s) [pool %d]: %.3f s (%.2fx vs baseline, util %.0f%%)\n%!"
+          w r.actual wall r.speedup (100.0 *. r.util);
+        r)
+      [ 1; 2; 4; 8 ]
+  in
+  (name, Dss.order sys, Array.length points, base_s, runs)
+
+let json_of_results results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"substrates\": [\n";
+  List.iteri
+    (fun i (name, states, points, base_s, runs) ->
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"name\": %S,\n" name);
+      Buffer.add_string buf (Printf.sprintf "      \"states\": %d,\n" states);
+      Buffer.add_string buf (Printf.sprintf "      \"points\": %d,\n" points);
+      Buffer.add_string buf (Printf.sprintf "      \"baseline_serial_s\": %.6f,\n" base_s);
+      Buffer.add_string buf "      \"engine_runs\": [\n";
+      List.iteri
+        (fun j r ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        {\"workers\": %d, \"actual_workers\": %d, \"wall_s\": %.6f, \
+                \"factor_s\": %.6f, \"solve_s\": %.6f, \"utilisation\": %.3f, \
+                \"speedup_vs_baseline\": %.3f}%s\n"
+               r.workers r.actual r.wall_s r.factor_s r.solve_s r.util r.speedup
+               (if j = List.length runs - 1 then "" else ",")))
+        runs;
+      Buffer.add_string buf "      ],\n";
+      Buffer.add_string buf "      \"determinism\": \"parallel == serial (bitwise)\"\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let () =
+  let mesh =
+    Dss.of_netlist (Pmtbr_circuit.Rc_mesh.generate ~rows:24 ~cols:24 ~ports:4 ())
+  in
+  let mesh_pts = Sampling.points (Sampling.Uniform { w_max = 2e10 }) ~count:40 in
+  let spiral = Dss.of_netlist (Pmtbr_circuit.Spiral.generate ~segments:60 ()) in
+  let spiral_pts =
+    Sampling.points
+      (Sampling.Log { w_min = Pmtbr_circuit.Spiral.sample_band () /. 1000.0;
+                      w_max = Pmtbr_circuit.Spiral.sample_band () })
+      ~count:40
+  in
+  (* explicit lets: list elements would evaluate right-to-left *)
+  let mesh_result = bench_substrate ~name:"rc-mesh-24x24" ~sys:mesh ~points:mesh_pts in
+  let spiral_result = bench_substrate ~name:"spiral-60" ~sys:spiral ~points:spiral_pts in
+  let results = [ mesh_result; spiral_result ] in
+  let json = json_of_results results in
+  let oc = open_out "BENCH_shift.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  (* acceptance gate: >= 2x at 4 workers on the RC mesh *)
+  let _, _, _, _, mesh_runs = List.hd results in
+  let at4 = List.find (fun r -> r.workers = 4) mesh_runs in
+  if at4.speedup < 2.0 then begin
+    Printf.eprintf "[shift_bench] FAIL: rc-mesh speedup at 4 workers = %.2fx < 2x\n%!" at4.speedup;
+    exit 1
+  end;
+  Printf.eprintf "[shift_bench] OK: rc-mesh speedup at 4 workers = %.2fx\n%!" at4.speedup

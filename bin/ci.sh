@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: build everything, run every suite, and re-check the
+# shift-engine determinism contract with backtraces on.  The dev profile
+# already treats warnings as errors, so a clean build is part of the gate.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+OCAMLRUNPARAM=b dune runtest
+
+echo "== shift-engine determinism"
+OCAMLRUNPARAM=b dune exec test/test_shift_engine.exe -- test determinism
+
+echo "CI OK"

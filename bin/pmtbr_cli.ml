@@ -113,6 +113,19 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Gene
 let samples_arg =
   Arg.(value & opt int 30 & info [ "samples" ] ~docv:"K" ~doc:"Number of frequency samples.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "workers" ]
+        ~docv:"W"
+        ~doc:
+          "Worker domains for the parallel multi-shift sampling engine (0 = one per \
+           recommended core).  Any value produces bitwise-identical results.")
+
+(* 0 = auto (engine default); the engine treats values < 1 the same way *)
+let workers_opt w = if w >= 1 then Some w else None
+
 let band_arg =
   let parse s =
     match String.split_on_char ':' s with
@@ -152,7 +165,7 @@ let info_cmd =
 (* hsv                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_hsv circuit spice size ports seed samples band =
+let run_hsv circuit spice size ports seed samples band workers =
   let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
   let sys = Dss.of_netlist nl in
   let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
@@ -165,7 +178,7 @@ let run_hsv circuit spice size ports seed samples band =
      coordinates (paper Section III); fall back to the raw descriptor system
      for non-RC networks, where only the estimate is printed *)
   let sym = try Some (Dss.symmetrize_rc sys) with Dss.Not_rc_like -> None in
-  let est = Pmtbr.hankel_estimates (Option.value sym ~default:sys) pts in
+  let est = Pmtbr.hankel_estimates ?workers:(workers_opt workers) (Option.value sym ~default:sys) pts in
   let exact =
     Option.map
       (fun ssym ->
@@ -189,7 +202,7 @@ let hsv_cmd =
   Cmd.v (Cmd.info "hsv" ~doc)
     Term.(
       const run_hsv $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ samples_arg
-      $ band_arg)
+      $ band_arg $ workers_arg)
 
 (* ------------------------------------------------------------------ *)
 (* reduce                                                              *)
@@ -224,7 +237,7 @@ let tol_arg =
     & opt (some float) None
     & info [ "tol" ] ~docv:"TOL" ~doc:"Singular-value tail tolerance for order control.")
 
-let run_reduce circuit spice size ports seed meth order tol samples band =
+let run_reduce circuit spice size ports seed meth order tol samples band workers =
   let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
   let sys = Dss.of_netlist nl in
   let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
@@ -233,12 +246,13 @@ let run_reduce circuit spice size ports seed meth order tol samples band =
     | Some (lo, hi) when lo > 0.0 -> Sampling.points (Sampling.Bands [ (lo, hi) ]) ~count:samples
     | _ -> Sampling.points (Sampling.Uniform { w_max = w_hi }) ~count:samples
   in
+  let workers = workers_opt workers in
   let rom =
     match meth with
-    | M_pmtbr -> (Pmtbr.reduce ?order ?tol sys pts).Pmtbr.rom
+    | M_pmtbr -> (Pmtbr.reduce ?order ?tol ?workers sys pts).Pmtbr.rom
     | M_fs ->
         let lo, hi = match band with Some b -> b | None -> (0.0, w_hi) in
-        (Freq_selective.reduce ?order ?tol sys
+        (Freq_selective.reduce ?order ?tol ?workers sys
            ~bands:[ Freq_selective.band ~lo ~hi ]
            ~count:samples)
           .Pmtbr.rom
@@ -247,10 +261,10 @@ let run_reduce circuit spice size ports seed meth order tol samples band =
           .Prima.rom
     | M_tbr -> (Tbr.reduce_dss ?order ?tol sys).Tbr.rom
     | M_multipoint ->
-        (Multipoint.reduce sys (Sampling.spread_order pts)
+        (Multipoint.reduce ?workers sys (Sampling.spread_order pts)
            ~count:(max 1 (Option.value order ~default:10 / 2)))
           .Multipoint.rom
-    | M_cross -> (Cross_gramian.reduce ?order sys pts).Cross_gramian.rom
+    | M_cross -> (Cross_gramian.reduce ?order ?workers sys pts).Cross_gramian.rom
     | M_two_step ->
         let q = Option.value order ~default:10 in
         (Two_step.reduce sys ~s0:(w_hi /. 20.0) ~intermediate:(3 * q) ~order:q ())
@@ -273,7 +287,7 @@ let reduce_cmd =
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
       const run_reduce $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ method_arg
-      $ order_arg $ tol_arg $ samples_arg $ band_arg)
+      $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

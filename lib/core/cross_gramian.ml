@@ -18,9 +18,9 @@ type result = {
   samples : int;
 }
 
-let reduce ?(order : int option) ?(tol = 1e-8) sys (pts : Sampling.point array) =
-  let zr = Zmat.build sys pts in
-  let zl = Zmat.build_left sys pts in
+let reduce ?(order : int option) ?(tol = 1e-8) ?workers sys (pts : Sampling.point array) =
+  let zr = Zmat.build ?workers sys pts in
+  let zl = Zmat.build_left ?workers sys pts in
   let q = Qr.orth (Mat.hcat zr zl) in
   let rr = Mat.mul (Mat.transpose q) zr in
   let rl = Mat.mul (Mat.transpose q) zl in

@@ -15,7 +15,7 @@ type result = {
   samples : int;
 }
 
-val reduce : ?order:int -> ?tol:float -> Dss.t -> Sampling.point array -> result
+val reduce : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> Sampling.point array -> result
 (** Reduce onto the dominant cross-Gramian eigenspace; [tol] (default
     [1e-8]) drops eigenvalues relative to the largest magnitude when
     [order] is not given. *)

@@ -13,11 +13,11 @@ let band ~lo ~hi =
 let scheme_of_bands bands = Sampling.Bands (List.map (fun b -> (b.lo, b.hi)) bands)
 
 (* Reduce with points drawn only from [bands]. *)
-let reduce ?order ?tol sys ~bands ~count =
+let reduce ?order ?tol ?workers sys ~bands ~count =
   let pts = Sampling.points (scheme_of_bands bands) ~count in
-  Pmtbr.reduce ?order ?tol sys pts
+  Pmtbr.reduce ?order ?tol ?workers sys pts
 
 (* Adaptive variant with on-the-fly order control. *)
-let reduce_adaptive ?order ?tol ?batch sys ~bands ~count =
+let reduce_adaptive ?order ?tol ?batch ?workers sys ~bands ~count =
   let pts = Sampling.points (scheme_of_bands bands) ~count in
-  Pmtbr.reduce_adaptive ?order ?tol ?batch sys pts
+  Pmtbr.reduce_adaptive ?order ?tol ?batch ?workers sys pts

@@ -13,10 +13,10 @@ val band : lo:float -> hi:float -> band
 val scheme_of_bands : band list -> Sampling.scheme
 (** The sampling scheme drawing Gauss-Legendre points in each band. *)
 
-val reduce : ?order:int -> ?tol:float -> Pmtbr_lti.Dss.t -> bands:band list -> count:int ->
-  Pmtbr.result
+val reduce : ?order:int -> ?tol:float -> ?workers:int -> Pmtbr_lti.Dss.t -> bands:band list ->
+  count:int -> Pmtbr.result
 (** Reduce with [count] points drawn only from [bands]. *)
 
-val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> Pmtbr_lti.Dss.t ->
-  bands:band list -> count:int -> Pmtbr.result
+val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?workers:int ->
+  Pmtbr_lti.Dss.t -> bands:band list -> count:int -> Pmtbr.result
 (** Adaptive variant with on-the-fly order control. *)

@@ -21,7 +21,7 @@ type result = {
    [inputs] is the p x N matrix of sampled input waveforms; [points] the
    frequency points to cycle through; [draws] the number of sample vectors
    (each pairs one frequency point with one random input direction). *)
-let reduce ?order ?tol ?(input_tol = 1e-6) ?(seed = 2004) sys ~(inputs : Mat.t)
+let reduce ?order ?tol ?(input_tol = 1e-6) ?(seed = 2004) ?workers sys ~(inputs : Mat.t)
     ~(points : Sampling.point array) ~draws =
   assert (inputs.Mat.rows = Dss.inputs sys);
   let rng = Rng.create seed in
@@ -36,7 +36,7 @@ let reduce ?order ?tol ?(input_tol = 1e-6) ?(seed = 2004) sys ~(inputs : Mat.t)
         let rhs = Mat.init b.Mat.rows 1 (fun i _ -> Vec.dot (Mat.row b i) dir) in
         (p, rhs))
   in
-  let zw = Zmat.build_per_point sys pts_rhs in
+  let zw = Zmat.build_per_point ?workers sys pts_rhs in
   let r = Pmtbr.of_basis sys ~zw ?order ?tol ~samples:draws () in
   {
     rom = r.Pmtbr.rom;
@@ -50,7 +50,7 @@ let reduce ?order ?tol ?(input_tol = 1e-6) ?(seed = 2004) sys ~(inputs : Mat.t)
    directions themselves, scaled by their singular values, at every
    frequency point.  Cheaper and reproducible; used for the large substrate
    experiments. *)
-let reduce_deterministic ?order ?tol ?(input_tol = 1e-6) ?(directions = 0) sys
+let reduce_deterministic ?order ?tol ?(input_tol = 1e-6) ?(directions = 0) ?workers sys
     ~(inputs : Mat.t) ~(points : Sampling.point array) =
   let basis = Correlation.truncate ~tol:input_tol (Correlation.analyse inputs) in
   let dirs = basis.Correlation.directions in
@@ -61,12 +61,8 @@ let reduce_deterministic ?order ?tol ?(input_tol = 1e-6) ?(directions = 0) sys
     Mat.mul b
       (Mat.init dirs.Mat.rows r_in (fun i j -> Mat.get dirs i j *. basis.Correlation.sigmas.(j)))
   in
-  let blocks = Array.map (Zmat.point_block sys ~rhs) points in
-  let zw =
-    match Array.to_list blocks with
-    | [] -> invalid_arg "Input_correlated.reduce_deterministic: no points"
-    | first :: rest -> List.fold_left Mat.hcat first rest
-  in
+  if Array.length points = 0 then invalid_arg "Input_correlated.reduce_deterministic: no points";
+  let zw = Zmat.build_rhs ?workers sys ~rhs points in
   let r = Pmtbr.of_basis sys ~zw ?order ?tol ~samples:(Array.length points) () in
   {
     rom = r.Pmtbr.rom;

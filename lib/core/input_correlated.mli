@@ -18,8 +18,8 @@ type result = {
   samples : int;
 }
 
-val reduce : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int -> Dss.t ->
-  inputs:Mat.t -> points:Sampling.point array -> draws:int -> result
+val reduce : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int -> ?workers:int ->
+  Dss.t -> inputs:Mat.t -> points:Sampling.point array -> draws:int -> result
 (** Run Algorithm 3.  [inputs] is the [p x N] matrix of sampled input
     waveforms; [points] the frequency points to cycle through; [draws] the
     number of sample vectors (each pairing one frequency point with one
@@ -27,7 +27,7 @@ val reduce : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int -> Dss.t 
     [1e-6] relative); [seed] makes the direction draws reproducible. *)
 
 val reduce_deterministic : ?order:int -> ?tol:float -> ?input_tol:float -> ?directions:int ->
-  Dss.t -> inputs:Mat.t -> points:Sampling.point array -> result
+  ?workers:int -> Dss.t -> inputs:Mat.t -> points:Sampling.point array -> result
 (** Deterministic variant: use the leading input directions themselves,
     scaled by their singular values, at every frequency point.  Cheaper and
     reproducible; used for the large substrate experiments.  [directions]

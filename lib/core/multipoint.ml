@@ -12,11 +12,11 @@ type result = { rom : Dss.t; basis : Mat.t; samples : int }
 
 (* Reduce with the first [count] points of [pts] (unweighted: multipoint
    projection has no quadrature interpretation). *)
-let reduce sys (pts : Sampling.point array) ~count =
+let reduce ?workers sys (pts : Sampling.point array) ~count =
   assert (count >= 1 && count <= Array.length pts);
   let used = Array.sub pts 0 count in
   let unweighted = Array.map (fun p -> { p with Sampling.weight = 1.0 }) used in
-  let z = Zmat.build sys unweighted in
+  let z = Zmat.build ?workers sys unweighted in
   let basis = Qr.orth z in
   { rom = Dss.project_congruence sys basis; basis; samples = count }
 

@@ -9,7 +9,7 @@ open Pmtbr_lti
 
 type result = { rom : Dss.t; basis : Mat.t; samples : int }
 
-val reduce : Dss.t -> Sampling.point array -> count:int -> result
+val reduce : ?workers:int -> Dss.t -> Sampling.point array -> count:int -> result
 (** Reduce with the first [count] points (weights ignored: multipoint
     projection has no quadrature interpretation).  The model interpolates
     the transfer function at the sample points. *)

@@ -49,21 +49,23 @@ let of_basis sys ~(zw : Mat.t) ?order ?tol ~samples () =
   let basis = Mat.sub_cols u 0 q in
   { rom = Dss.project_congruence sys basis; basis; singular_values = sigma; samples }
 
-(* One-shot PMTBR with a fixed point set. *)
-let reduce ?order ?tol sys (pts : Sampling.point array) =
-  let zw = Zmat.build sys pts in
+(* One-shot PMTBR with a fixed point set.  [workers] sizes the shifted-solve
+   domain pool (default: all recommended domains; results are identical for
+   any worker count). *)
+let reduce ?order ?tol ?workers sys (pts : Sampling.point array) =
+  let zw = Zmat.build ?workers sys pts in
   of_basis sys ~zw ?order ?tol ~samples:(Array.length pts) ()
 
 (* Convenience: uniform sampling of [0, w_max]. *)
-let reduce_uniform ?order ?tol sys ~w_max ~count =
-  reduce ?order ?tol sys (Sampling.points (Sampling.Uniform { w_max }) ~count)
+let reduce_uniform ?order ?tol ?workers sys ~w_max ~count =
+  reduce ?order ?tol ?workers sys (Sampling.points (Sampling.Uniform { w_max }) ~count)
 
 (* On-the-fly order control (Section V-C): consume the point sequence in
    batches; after each batch compare the current singular values with the
    previous ones; stop when the leading values have converged to
    [converge_tol] relative change and the tail is below [tol].  Returns the
    result built from the points actually consumed. *)
-let reduce_adaptive ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.02) sys
+let reduce_adaptive ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.02) ?workers sys
     (pts : Sampling.point array) =
   (* prefixes must cover the whole band: consume in bit-reversed order *)
   let pts = Sampling.spread_order pts in
@@ -79,7 +81,7 @@ let reduce_adaptive ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.02) sy
         (fun p -> { p with Sampling.weight = p.Sampling.weight *. scale })
         (Array.sub pts 0 upto)
     in
-    let zw = Zmat.build sys prefix in
+    let zw = Zmat.build ?workers sys prefix in
     let { Svd.u; sigma; _ } = Svd.decompose zw in
     let q = choose_order ~sigma ?order ~tol () in
     let leading_converged =
@@ -116,8 +118,8 @@ let reduce_adaptive ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.02) sy
    update and suggests RRQR/UTV instead).  The pivoted-R diagonal
    magnitudes stand in for the singular values while points accumulate; a
    single SVD at the end produces the final basis and singular values. *)
-let reduce_adaptive_rrqr ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.05) sys
-    (pts : Sampling.point array) =
+let reduce_adaptive_rrqr ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.05) ?workers
+    sys (pts : Sampling.point array) =
   let pts = Sampling.spread_order pts in
   let n_pts = Array.length pts in
   let rescaled upto =
@@ -136,7 +138,7 @@ let reduce_adaptive_rrqr ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.0
   in
   let rec loop consumed prev =
     let upto = min n_pts (consumed + batch) in
-    let zw = Zmat.build sys (rescaled upto) in
+    let zw = Zmat.build ?workers sys (rescaled upto) in
     let { Qr.r; rank; _ } = Qr.pivoted ~tol:1e-15 zw in
     let d = diag_magnitudes r rank in
     let q = choose_order ~sigma:d ?order ~tol () in
@@ -158,7 +160,7 @@ let reduce_adaptive_rrqr ?order ?(tol = 1e-10) ?(batch = 8) ?(converge_tol = 0.0
   loop 0 None
 
 (* Singular values of the ZW matrix only (Figs. 5 and 8). *)
-let sample_singular_values sys pts = Svd.values (Zmat.build sys pts)
+let sample_singular_values ?workers sys pts = Svd.values (Zmat.build ?workers sys pts)
 
 (* Hankel-singular-value estimates.  The sampled Gramian is
    X^ = (1/pi) (ZW)(ZW)^T (the 1/2pi of the inverse Fourier transform and
@@ -166,5 +168,5 @@ let sample_singular_values sys pts = Svd.values (Zmat.build sys pts)
    realified columns), so its eigenvalues are sigma(ZW)^2 / pi.  In the
    paper's symmetric case the Hankel singular values are exactly the
    eigenvalues of X (balanced: X = Y = diag(hsv)), hence the estimate. *)
-let hankel_estimates sys pts =
-  Array.map (fun s -> s *. s /. Float.pi) (sample_singular_values sys pts)
+let hankel_estimates ?workers sys pts =
+  Array.map (fun s -> s *. s /. Float.pi) (sample_singular_values ?workers sys pts)

@@ -25,14 +25,17 @@ val of_basis : Dss.t -> zw:Mat.t -> ?order:int -> ?tol:float -> samples:int -> u
 (** Reduce with an externally assembled sample matrix (used by the variant
     algorithms). *)
 
-val reduce : ?order:int -> ?tol:float -> Dss.t -> Sampling.point array -> result
-(** One-shot PMTBR with a fixed point set. *)
+val reduce : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> Sampling.point array -> result
+(** One-shot PMTBR with a fixed point set.  [workers] sizes the
+    shifted-solve domain pool of {!Shift_engine} (default: all recommended
+    domains); the result is bitwise-independent of the worker count. *)
 
-val reduce_uniform : ?order:int -> ?tol:float -> Dss.t -> w_max:float -> count:int -> result
+val reduce_uniform : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> w_max:float ->
+  count:int -> result
 (** Convenience: uniform sampling of [0, w_max]. *)
 
 val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
-  Dss.t -> Sampling.point array -> result
+  ?workers:int -> Dss.t -> Sampling.point array -> result
 (** On-the-fly order control (Section V-C): consume the points in
     bit-reversed batches of [batch] (default 8) with prefix weights
     rescaled to keep the implied integral fixed; stop when the leading
@@ -41,16 +44,16 @@ val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:fl
     many points were actually used. *)
 
 val reduce_adaptive_rrqr : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
-  Dss.t -> Sampling.point array -> result
+  ?workers:int -> Dss.t -> Sampling.point array -> result
 (** Like {!reduce_adaptive}, but monitoring convergence with a
     rank-revealing (column-pivoted) QR per batch instead of a full SVD —
     the cheaper order-control machinery Section V-C recommends; one SVD at
     the end builds the final basis. *)
 
-val sample_singular_values : Dss.t -> Sampling.point array -> float array
+val sample_singular_values : ?workers:int -> Dss.t -> Sampling.point array -> float array
 (** Singular values of the sample matrix only (paper Figs. 5 and 8). *)
 
-val hankel_estimates : Dss.t -> Sampling.point array -> float array
+val hankel_estimates : ?workers:int -> Dss.t -> Sampling.point array -> float array
 (** Hankel-singular-value estimates [sigma(ZW)^2 / pi]: the eigenvalues of
     the sampled Gramian [(1/pi)(ZW)(ZW)^T], which in the paper's symmetric
     case are exactly the Hankel singular values.  Converges as the

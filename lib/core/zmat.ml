@@ -5,49 +5,41 @@
    their conjugates at -j w (step 5 of Algorithm 1); since
    span{z, z*} = span{Re z, Im z} over the reals, we store the real and
    imaginary parts as two real columns instead.  Points with (numerically)
-   zero imaginary part contribute only their real columns. *)
+   zero imaginary part contribute only their real columns.
+
+   The heavy lifting — shifted solves with one shared symbolic analysis,
+   optionally over a domain pool — lives in [Shift_engine]; this module
+   keeps the historical entry points (plus [?workers]) and the legacy
+   one-shot per-point path used as the benchmark baseline. *)
 
 open Pmtbr_la
 open Pmtbr_lti
 
-(* Real column block for one sample point. *)
-let realify_block ~(weight : float) (cols : Complex.t array array) ~(is_real : bool) =
-  let p = Array.length cols in
-  assert (p > 0);
-  let n = Array.length cols.(0) in
-  let w = sqrt (Float.max 0.0 weight) in
-  if is_real then Mat.init n p (fun i j -> w *. cols.(j).(i).Complex.re)
-  else
-    (* conjugate pair weight: both half-axes contribute, fold the factor 2
-       into the weight (the constant scaling is irrelevant to the subspace
-       and uniform across columns) *)
-    Mat.init n (2 * p) (fun i j ->
-        let z = cols.(j / 2).(i) in
-        w *. (if j mod 2 = 0 then z.Complex.re else z.Complex.im))
+let realify_block = Shift_engine.realify_block
+let is_effectively_real = Shift_engine.is_effectively_real
 
-let is_effectively_real (s : Complex.t) =
-  Float.abs s.Complex.im <= 1e-300 +. (1e-12 *. Float.abs s.Complex.re)
-
-(* Columns for one point: solve (sE - A) Z = R. *)
+(* Legacy one-shot block: full symbolic + numeric factorisation at this
+   single point, nothing shared.  Kept as the serial baseline that
+   bench/shift_bench.ml measures the engine against. *)
 let point_block sys ~(rhs : Mat.t) (p : Sampling.point) =
   let cols = Dss.shifted_solve_rhs sys p.Sampling.s rhs in
   realify_block ~weight:p.Sampling.weight cols ~is_real:(is_effectively_real p.Sampling.s)
 
 (* Full ZW matrix for a point set, with B as the right-hand side. *)
-let build sys (pts : Sampling.point array) =
-  let rhs = Dss.b_matrix sys in
-  let blocks = Array.map (point_block sys ~rhs) pts in
-  match Array.to_list blocks with
-  | [] -> invalid_arg "Zmat.build: no sample points"
-  | first :: rest -> List.fold_left Mat.hcat first rest
+let build ?workers sys (pts : Sampling.point array) =
+  if Array.length pts = 0 then invalid_arg "Zmat.build: no sample points";
+  Shift_engine.build ?workers sys pts
+
+(* Same, but with one fixed arbitrary right-hand side. *)
+let build_rhs ?workers sys ~(rhs : Mat.t) (pts : Sampling.point array) =
+  if Array.length pts = 0 then invalid_arg "Zmat.build_rhs: no sample points";
+  Shift_engine.build_rhs ?workers sys ~rhs pts
 
 (* Same, but with an arbitrary right-hand side per point (used by the
    input-correlated variant where each point gets its own input draw). *)
-let build_per_point sys (pts_rhs : (Sampling.point * Mat.t) list) =
-  let blocks = List.map (fun (p, rhs) -> point_block sys ~rhs p) pts_rhs in
-  match blocks with
-  | [] -> invalid_arg "Zmat.build_per_point: no sample points"
-  | first :: rest -> List.fold_left Mat.hcat first rest
+let build_per_point ?workers sys (pts_rhs : (Sampling.point * Mat.t) list) =
+  if pts_rhs = [] then invalid_arg "Zmat.build_per_point: no sample points";
+  Shift_engine.build_per_point ?workers sys (Array.of_list pts_rhs)
 
 (* Observability-side samples (sE - A)^{-H} C^T for the cross-Gramian
    method. *)
@@ -55,9 +47,6 @@ let point_block_hermitian sys ~(rhs : Mat.t) (p : Sampling.point) =
   let cols = Dss.shifted_solve_hermitian sys p.Sampling.s rhs in
   realify_block ~weight:p.Sampling.weight cols ~is_real:(is_effectively_real p.Sampling.s)
 
-let build_left sys (pts : Sampling.point array) =
-  let rhs = Mat.transpose (Dss.c_matrix sys) in
-  let blocks = Array.map (point_block_hermitian sys ~rhs) pts in
-  match Array.to_list blocks with
-  | [] -> invalid_arg "Zmat.build_left: no sample points"
-  | first :: rest -> List.fold_left Mat.hcat first rest
+let build_left ?workers sys (pts : Sampling.point array) =
+  if Array.length pts = 0 then invalid_arg "Zmat.build_left: no sample points";
+  Shift_engine.build_left ?workers sys pts

@@ -58,9 +58,12 @@ let apply_a sys (v : Mat.t) =
   | Sparse { a; _ } -> Triplet.mul_dense a v
   | Dense { a; _ } -> Mat.mul a v
 
-(* A reusable factorisation of (sE - A). *)
+(* A reusable factorisation of (sE - A).  Fz is the unboxed complex factor
+   produced by the multi-shift replay — the production path of the
+   sampling engine. *)
 type shifted_factor =
   | Fs of Shifted.factor * int
+  | Fz of Shifted.zfactor * int
   | Fd of Cmat.lu * int
 
 let factor_shifted sys (s : Complex.t) =
@@ -77,6 +80,9 @@ let solve_factored f (r : Mat.t) : Complex.t array array =
   | Fs (fact, n) ->
       assert (r.Mat.rows = n);
       Shifted.solve_dense fact r
+  | Fz (fact, n) ->
+      assert (r.Mat.rows = n);
+      Shifted.zsolve_dense fact r
   | Fd (lu, n) ->
       assert (r.Mat.rows = n);
       Array.init r.Mat.cols (fun j ->
@@ -89,6 +95,9 @@ let solve_factored_hermitian f (r : Mat.t) : Complex.t array array =
   | Fs (fact, n) ->
       assert (r.Mat.rows = n);
       Shifted.solve_hermitian_dense fact r
+  | Fz (fact, n) ->
+      assert (r.Mat.rows = n);
+      Shifted.zsolve_hermitian_dense fact r
   | Fd (lu, n) ->
       (* (sE-A)^H x = r  <=>  (sE-A)^T conj(x) = conj(r); r real here.  We
          lack a transposed dense LU solve, so refactor the conjugate
@@ -96,6 +105,52 @@ let solve_factored_hermitian f (r : Mat.t) : Complex.t array array =
       ignore lu;
       ignore n;
       invalid_arg "solve_factored_hermitian: use solve_hermitian on the system"
+
+(* ------------------------------------------------------------------ *)
+(* Multi-shift solver: symbolic work shared across all sample shifts    *)
+(* ------------------------------------------------------------------ *)
+
+(* For sparse systems this wraps [Shifted.prepare]: pattern assembly,
+   fill-reducing ordering and elimination analysis happen once, and every
+   shift pays only a numeric refactorisation.  Dense (reduced) systems are
+   small enough that a fresh LU per shift is the whole cost.  The handle is
+   immutable after creation, so concurrent [multi_factor] calls from
+   different domains are safe. *)
+type multi_shift =
+  | Ms of Shifted.multi * int
+  | Md of { e : Mat.t; a : Mat.t }
+
+let multi_shift ?(template = { Complex.re = 0.0; im = 1.0 }) sys =
+  match sys with
+  | Sparse { pencil; n; _ } -> Ms (Shifted.prepare pencil ~template, n)
+  | Dense { e; a; _ } -> Md { e; a }
+
+(* [hermitian] asks for a factor prepared for [(sE - A)^H x = r] solves:
+   sparse factors serve both sides (the LU of M solves M^H via conjugated
+   transposed solves), while the dense LU must factor the conjugate
+   transpose itself. *)
+let multi_factor ms ~hermitian (s : Complex.t) =
+  match ms with
+  | Ms (m, n) -> Fz (Shifted.refactor_z m s, n)
+  | Md { e; a } ->
+      let m = Cmat.axpby_real ~alpha:s e ~beta:{ Complex.re = -1.0; im = 0.0 } a in
+      let m = if hermitian then Cmat.conj_transpose m else m in
+      Fd (Cmat.lu m, a.Mat.rows)
+
+let multi_solve_factored f ~hermitian (r : Mat.t) : Complex.t array array =
+  match f with
+  | Fs (fact, n) ->
+      assert (r.Mat.rows = n);
+      if hermitian then Shifted.solve_hermitian_dense fact r else Shifted.solve_dense fact r
+  | Fz (fact, n) ->
+      assert (r.Mat.rows = n);
+      if hermitian then Shifted.zsolve_hermitian_dense fact r else Shifted.zsolve_dense fact r
+  | Fd (lu, n) ->
+      (* a hermitian factor already holds the LU of (sE - A)^H *)
+      assert (r.Mat.rows = n);
+      Array.init r.Mat.cols (fun j ->
+          let rhs = Array.init n (fun i -> { Complex.re = Mat.get r i j; im = 0.0 }) in
+          Cmat.lu_solve_vec lu rhs)
 
 (* One-shot solves. *)
 let shifted_solve sys s = solve_factored (factor_shifted sys s) (b_matrix sys)

@@ -66,6 +66,26 @@ val solve_factored : shifted_factor -> Mat.t -> Complex.t array array
 (** [solve_factored f r] solves [(sE - A) X = R] for a dense real
     right-hand side; one complex column per column of [R]. *)
 
+type multi_shift
+(** A reusable multi-shift solver handle.  For sparse systems the pattern
+    assembly, fill-reducing ordering and elimination analysis of
+    [(sE - A)] are computed once at creation (against a template shift);
+    each subsequent shift pays only a numeric refactorisation.  Immutable
+    after creation — safe to share across domains. *)
+
+val multi_shift : ?template:Complex.t -> t -> multi_shift
+(** Build the handle; [template] (default [j1]) picks the shift whose
+    factorisation serves as the structural template. *)
+
+val multi_factor : multi_shift -> hermitian:bool -> Complex.t -> shifted_factor
+(** Factor [(sE - A)] at one shift through the handle.  With
+    [~hermitian:true] the factor is prepared for [(sE - A)^H x = r]
+    solves. *)
+
+val multi_solve_factored : shifted_factor -> hermitian:bool -> Mat.t -> Complex.t array array
+(** Solve with a factor from {!multi_factor}, on the same side it was
+    prepared for. *)
+
 val shifted_solve : t -> Complex.t -> Complex.t array array
 (** One-shot [(sE - A)^{-1} B]. *)
 

@@ -87,10 +87,13 @@ let min_degree (colptr : int array) (rowind : int array) n =
   done;
   order
 
-type scheme = Natural | Rcm | Min_degree
+type scheme = Natural | Rcm | Min_degree | Given of int array
 
 let compute scheme colptr rowind n =
   match scheme with
   | Natural -> natural n
   | Rcm -> rcm colptr rowind n
   | Min_degree -> min_degree colptr rowind n
+  | Given p ->
+      if Array.length p <> n then invalid_arg "Ordering.compute: Given permutation has wrong length";
+      Array.copy p

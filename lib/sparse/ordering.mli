@@ -6,6 +6,10 @@ type scheme =
   | Natural  (** identity ordering *)
   | Rcm  (** reverse Cuthill-McKee: bandwidth reduction *)
   | Min_degree  (** greedy minimum degree: fill reduction *)
+  | Given of int array
+      (** a precomputed permutation, reused verbatim — this is how a
+          symbolic analysis done once per system is replayed across the
+          many shifted factorisations of a multi-point sweep *)
 
 val natural : int -> int array
 (** Identity permutation. *)

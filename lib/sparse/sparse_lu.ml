@@ -19,6 +19,23 @@ module type S = sig
   type factor
 
   val factorize : ?ordering:Ordering.scheme -> M.t -> factor
+  val refactorize : ?pivot_tol:float -> factor -> M.t -> factor
+  val col_ordering : factor -> int array
+
+  type raw = {
+    raw_n : int;
+    raw_l_colptr : int array;
+    raw_l_rowind : int array;
+    raw_l_values : elt array;
+    raw_u_colptr : int array;
+    raw_u_rowind : int array;
+    raw_u_values : elt array;
+    raw_u_diag : elt array;
+    raw_pinv : int array;
+    raw_q : int array;
+  }
+
+  val raw : factor -> raw
   val nnz : factor -> int
   val solve_vec : factor -> elt array -> elt array
   val solve_transposed_vec : factor -> elt array -> elt array
@@ -192,18 +209,127 @@ module Make (K : Scalar.S) = struct
       done;
       u_colptr.(k) <- !up;
       let b = u_cols.(k) in
-      for c = 0 to b.len - 1 do
-        let i, v = b.data.(c) in
-        u_rowind.(!up) <- i;
-        u_values.(!up) <- v;
-        incr up
-      done
+      (* ascending pivot order within each U column: refactorisation replays
+         the eliminations of column k in exactly this storage order, which is
+         only a valid (left-looking) schedule when the contributing pivots
+         come in increasing order *)
+      let col = Array.sub b.data 0 b.len in
+      Array.sort (fun (i1, _) (i2, _) -> compare i1 i2) col;
+      Array.iter
+        (fun (i, v) ->
+          u_rowind.(!up) <- i;
+          u_values.(!up) <- v;
+          incr up)
+        col
     done;
     l_colptr.(n) <- !lp;
     u_colptr.(n) <- !up;
     { n; l_colptr; l_rowind; l_values; u_colptr; u_rowind; u_values; u_diag; pinv; q }
 
   let nnz f = Array.length f.l_rowind + Array.length f.u_rowind + f.n
+  let col_ordering f = Array.copy f.q
+
+  type raw = {
+    raw_n : int;
+    raw_l_colptr : int array;
+    raw_l_rowind : int array;
+    raw_l_values : elt array;
+    raw_u_colptr : int array;
+    raw_u_rowind : int array;
+    raw_u_values : elt array;
+    raw_u_diag : elt array;
+    raw_pinv : int array;
+    raw_q : int array;
+  }
+
+  (* Read-only structural view for specialised kernels (the arrays are
+     shared with the factor, not copied — do not mutate them). *)
+  let raw f =
+    {
+      raw_n = f.n;
+      raw_l_colptr = f.l_colptr;
+      raw_l_rowind = f.l_rowind;
+      raw_l_values = f.l_values;
+      raw_u_colptr = f.u_colptr;
+      raw_u_rowind = f.u_rowind;
+      raw_u_values = f.u_values;
+      raw_u_diag = f.u_diag;
+      raw_pinv = f.pinv;
+      raw_q = f.q;
+    }
+
+  (* Numeric-only refactorisation: replay the elimination of [tpl] — same
+     column ordering, same pivot sequence, same L/U nonzero pattern — on a
+     matrix with the identical sparsity structure but new values.  This is
+     the per-shift cost of a multi-shift sweep once a template factorisation
+     of one (s0 E - A) has paid for the symbolic analysis.
+
+     Correctness: for pivot column k, the template's U rows (stored in
+     ascending pivot order) list exactly the pivotal columns j < k whose L
+     columns update column k, and the template's L rows give the fill
+     pattern of the update target; replaying those updates in ascending j
+     order is a valid left-looking schedule.  Entries of [a] outside the
+     template pattern would be silently mislocated, so membership is checked
+     as each column is scattered.
+
+     Pivots are reused, not re-chosen, so a value change can drive a reused
+     pivot towards zero: [Singular k] is raised when |u_kk| fails the
+     [pivot_tol]-relative test against the largest entry of the eliminated
+     column (exact zeros always fail), and callers fall back to a fresh
+     pivoting factorisation. *)
+  let refactorize ?(pivot_tol = 0.0) (tpl : factor) (a : M.t) =
+    let n = tpl.n in
+    if a.M.rows <> n || a.M.cols <> n then invalid_arg "Sparse_lu.refactorize: dimension mismatch";
+    let l_values = Array.make (Array.length tpl.l_values) K.zero in
+    let u_values = Array.make (Array.length tpl.u_values) K.zero in
+    let u_diag = Array.make n K.zero in
+    let x = Array.make n K.zero in
+    let mark = Array.make n (-1) in
+    for k = 0 to n - 1 do
+      let jcol = tpl.q.(k) in
+      (* clear (and mark) the pattern of pivot column k, then scatter
+         A(:, jcol) into pivot coordinates *)
+      for p = tpl.u_colptr.(k) to tpl.u_colptr.(k + 1) - 1 do
+        x.(tpl.u_rowind.(p)) <- K.zero;
+        mark.(tpl.u_rowind.(p)) <- k
+      done;
+      x.(k) <- K.zero;
+      mark.(k) <- k;
+      for p = tpl.l_colptr.(k) to tpl.l_colptr.(k + 1) - 1 do
+        x.(tpl.l_rowind.(p)) <- K.zero;
+        mark.(tpl.l_rowind.(p)) <- k
+      done;
+      for p = a.M.colptr.(jcol) to a.M.colptr.(jcol + 1) - 1 do
+        let i = tpl.pinv.(a.M.rowind.(p)) in
+        if mark.(i) <> k then
+          invalid_arg "Sparse_lu.refactorize: matrix pattern differs from the template";
+        x.(i) <- a.M.values.(p)
+      done;
+      (* eliminate with the already-computed columns, ascending pivot order *)
+      for p = tpl.u_colptr.(k) to tpl.u_colptr.(k + 1) - 1 do
+        let j = tpl.u_rowind.(p) in
+        let xj = x.(j) in
+        u_values.(p) <- xj;
+        if not (K.is_zero xj) then
+          for lp = tpl.l_colptr.(j) to tpl.l_colptr.(j + 1) - 1 do
+            let r = tpl.l_rowind.(lp) in
+            x.(r) <- K.sub x.(r) (K.mul l_values.(lp) xj)
+          done
+      done;
+      let pivot = x.(k) in
+      let colmax = ref (K.abs pivot) in
+      for p = tpl.l_colptr.(k) to tpl.l_colptr.(k + 1) - 1 do
+        colmax := Float.max !colmax (K.abs x.(tpl.l_rowind.(p)))
+      done;
+      if K.abs pivot <= pivot_tol *. !colmax || K.is_zero pivot then raise (Singular k);
+      u_diag.(k) <- pivot;
+      for p = tpl.l_colptr.(k) to tpl.l_colptr.(k + 1) - 1 do
+        l_values.(p) <- K.div x.(tpl.l_rowind.(p)) pivot
+      done
+    done;
+    (* structure arrays are immutable from here on: share them with the
+       template instead of copying *)
+    { tpl with l_values; u_values; u_diag }
 
   let solve_vec f b =
     let n = f.n in

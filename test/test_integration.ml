@@ -174,6 +174,47 @@ let test_order_control_end_to_end () =
         Alcotest.failf "tol %g delivered err %g (order %d)" tol err (Dss.order r.Pmtbr.rom))
     [ 1e-4; 1e-6; 1e-8 ]
 
+(* ------------------------------------------------------------------ *)
+(* Flow 9: golden regression                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Frozen outputs of a fixed configuration (6x6 RC mesh, 2 ports, 12
+   uniform points to 1e10 rad/s), stored to full precision.  Any numeric
+   change in the sampling path — pattern assembly, ordering, the unboxed
+   refactorisation replay, realification, the SVD — moves these digits;
+   deliberate changes must update the references consciously. *)
+let golden_sv =
+  [|
+    9.05157943789976835e+07;
+    1.27879429377086405e+07;
+    6.75958249456871022e+06;
+    7.34524733062745538e+05;
+    4.56507244359621604e+05;
+    2.66695410516959564e+04;
+    7.27921744422405209e+03;
+    5.02117685386064522e+02;
+    7.80709997965714564e+01;
+    5.54021058747224426e+00;
+  |]
+
+let test_golden_regression () =
+  let sys = Dss.of_netlist (Rc_mesh.generate ~rows:6 ~cols:6 ~ports:2 ()) in
+  let pts = Sampling.points (Sampling.Uniform { w_max = 1e10 }) ~count:12 in
+  let sv = Pmtbr.sample_singular_values sys pts in
+  Array.iteri
+    (fun i ref_v ->
+      let rel = Float.abs (sv.(i) -. ref_v) /. ref_v in
+      if rel > 1e-8 then
+        Alcotest.failf "singular value %d drifted: got %.17e, reference %.17e (rel %.3e)" i
+          sv.(i) ref_v rel)
+    golden_sv;
+  let r = Pmtbr.reduce ~order:8 sys pts in
+  let om = Vec.linspace 0.0 1e10 21 in
+  let err = Freq.max_rel_error (Freq.sweep sys om) (Freq.sweep r.Pmtbr.rom om) in
+  (* reference run: 2.584e-10; a regression in the solver stack shows up
+     as orders of magnitude, not fractions *)
+  if err > 1e-9 then Alcotest.failf "transfer error regressed: %.3e > 1e-9 (reference 2.58e-10)" err
+
 let () =
   Alcotest.run "pmtbr_integration"
     [
@@ -187,5 +228,6 @@ let () =
           Alcotest.test_case "all reduced models stable" `Quick test_all_reduced_models_stable;
           Alcotest.test_case "singular E flow" `Quick test_singular_e_flow;
           Alcotest.test_case "order control end-to-end" `Quick test_order_control_end_to_end;
+          Alcotest.test_case "golden regression" `Quick test_golden_regression;
         ] );
     ]

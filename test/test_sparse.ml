@@ -231,7 +231,85 @@ let prop_orderings_preserve_solution =
       let x1 = solve Ordering.Natural and x2 = solve Ordering.Rcm and x3 = solve Ordering.Min_degree in
       Vec.max_abs_diff x1 x2 < 1e-8 && Vec.max_abs_diff x1 x3 < 1e-8)
 
-let props = List.map QCheck_alcotest.to_alcotest [ prop_sparse_lu; prop_orderings_preserve_solution ]
+(* property: a refactorisation against a template (same pattern, new
+   values) solves as well as a fresh factorisation, on both sides, and
+   reuses the template's fill exactly *)
+let prop_refactorize_matches_fresh =
+  QCheck2.Test.make ~name:"refactorize matches fresh factorization" ~count:25
+    QCheck2.Gen.(pair (int_range 3 50) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let t = laplacian_like ~seed n in
+      let m = Csc.of_triplet t in
+      let tpl = Sparse_lu.R.factorize ~ordering:Ordering.Rcm m in
+      (* same pattern, perturbed values: entrywise jitter that never lands
+         on zero, so the nonzero structure is untouched *)
+      let values2 =
+        Array.mapi
+          (fun k v -> v *. (1.0 +. (0.4 *. sin (float_of_int ((k * 37) + seed)))))
+          m.Csc.R.values
+      in
+      let m2 = { m with Csc.R.values = values2 } in
+      let f2 = Sparse_lu.R.refactorize tpl m2 in
+      let b = Array.init n (fun i -> float_of_int ((i mod 9) - 4)) in
+      let x = Sparse_lu.R.solve_vec f2 b in
+      let xt = Sparse_lu.R.solve_transposed_vec f2 b in
+      Vec.max_abs_diff (Csc.R.mv m2 x) b < 1e-8
+      && Vec.max_abs_diff (Csc.R.mv_transposed m2 xt) b < 1e-8
+      && Sparse_lu.R.nnz f2 = Sparse_lu.R.nnz tpl)
+
+let test_refactorize_pattern_mismatch () =
+  (* entries *outside* the template pattern must be rejected (a subset
+     pattern is fine — missing entries are zeros and propagate correctly) *)
+  let tridiag n =
+    let t = Triplet.create n n in
+    for i = 0 to n - 1 do
+      Triplet.add t i i 4.0;
+      if i > 0 then Triplet.add t i (i - 1) (-1.0);
+      if i < n - 1 then Triplet.add t i (i + 1) (-1.0)
+    done;
+    t
+  in
+  let tpl = Sparse_lu.R.factorize (Csc.of_triplet (tridiag 12)) in
+  let t2 = tridiag 12 in
+  Triplet.add t2 11 0 (-0.5);
+  (* long-range coupling the template never saw *)
+  let m2 = Csc.of_triplet t2 in
+  match Sparse_lu.R.refactorize tpl m2 with
+  | _ -> Alcotest.fail "expected Invalid_argument on pattern mismatch"
+  | exception Invalid_argument _ -> ()
+
+(* property: the unboxed complex replay (Shifted.refactor_z) agrees with a
+   fresh boxed factorisation at the same shift, on both solve sides *)
+let prop_zreplay_matches_fresh =
+  QCheck2.Test.make ~name:"unboxed replay matches fresh complex LU" ~count:20
+    QCheck2.Gen.(
+      tup4 (int_range 3 40) (int_range 0 10_000) (float_range 0.05 5.0) (float_range 0.05 5.0))
+    (fun (n, seed, sre, sim) ->
+      let e = laplacian_like ~seed n in
+      let a = Triplet.create n n in
+      for i = 0 to n - 1 do
+        Triplet.add a i i (-1.0 -. (0.1 *. float_of_int i))
+      done;
+      let p = Shifted.pencil ~e ~a in
+      let m = Shifted.prepare p ~template:{ Complex.re = 0.0; im = 1.0 } in
+      let s = { Complex.re = sre; im = sim } in
+      let zf = Shifted.refactor_z m s in
+      let fresh = Shifted.factorize p s in
+      let b = Mat.random ~seed:(seed + 1) n 2 in
+      let close cols cols' =
+        Array.for_all2 (fun x y -> Cvec.max_abs (Cvec.sub x y) < 1e-8) cols cols'
+      in
+      close (Shifted.zsolve_dense zf b) (Shifted.solve_dense fresh b)
+      && close (Shifted.zsolve_hermitian_dense zf b) (Shifted.solve_hermitian_dense fresh b))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_sparse_lu;
+      prop_orderings_preserve_solution;
+      prop_refactorize_matches_fresh;
+      prop_zreplay_matches_fresh;
+    ]
 
 let () =
   Alcotest.run "pmtbr_sparse"
@@ -259,6 +337,8 @@ let () =
           Alcotest.test_case "needs pivoting" `Quick test_sparse_lu_needs_pivoting;
           Alcotest.test_case "complex shifted" `Quick test_complex_sparse_lu;
           Alcotest.test_case "hermitian shifted" `Quick test_shifted_hermitian_solve;
+          Alcotest.test_case "refactorize pattern mismatch" `Quick
+            test_refactorize_pattern_mismatch;
         ] );
       ("properties", props);
     ]
