@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-adaptive clean
 
 all: build
 
@@ -15,6 +15,11 @@ check:
 # regenerate BENCH_shift.json (fails if the rc-mesh speedup gate regresses)
 bench:
 	dune exec bench/shift_bench.exe
+
+# regenerate BENCH_adaptive.json (fails if the incremental adaptive loop
+# drops below 3x over the from-scratch baseline, or outputs diverge)
+bench-adaptive:
+	dune exec bench/adaptive_bench.exe
 
 clean:
 	dune clean

@@ -14,4 +14,7 @@ OCAMLRUNPARAM=b dune runtest
 echo "== shift-engine determinism"
 OCAMLRUNPARAM=b dune exec test/test_shift_engine.exe -- test determinism
 
+echo "== adaptive-sampling smoke bench"
+OCAMLRUNPARAM=b dune exec bench/adaptive_bench.exe -- --smoke
+
 echo "CI OK"

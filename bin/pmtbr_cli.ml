@@ -290,6 +290,73 @@ let reduce_cmd =
       $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg)
 
 (* ------------------------------------------------------------------ *)
+(* adaptive                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type adaptive_monitor = Mon_svd | Mon_rrqr
+
+let monitor_arg =
+  let doc = "Per-batch order monitor (svd, rrqr)." in
+  Arg.(
+    value
+    & opt (enum [ ("svd", Mon_svd); ("rrqr", Mon_rrqr) ]) Mon_svd
+    & info [ "monitor" ] ~docv:"MONITOR" ~doc)
+
+let batch_arg =
+  Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc:"Points consumed per batch.")
+
+let rebuild_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "rebuild" ]
+        ~doc:
+          "Use the from-scratch reference loop (every batch re-solves all consumed shifts) \
+           instead of the incremental sample cache.  Results are bitwise-identical; only the \
+           solve counters and wall time differ.")
+
+let run_adaptive circuit spice size ports seed monitor order tol batch rebuild samples band
+    workers =
+  let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
+  let sys = Dss.of_netlist nl in
+  let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
+  let pts =
+    match band with
+    | Some (lo, hi) when lo > 0.0 -> Sampling.points (Sampling.Bands [ (lo, hi) ]) ~count:samples
+    | _ -> Sampling.points (Sampling.Uniform { w_max = w_hi }) ~count:samples
+  in
+  let workers = workers_opt workers in
+  let result, st =
+    match monitor with
+    | Mon_svd -> Pmtbr.reduce_adaptive_stats ~rebuild ?order ?tol ~batch ?workers sys pts
+    | Mon_rrqr -> Pmtbr.reduce_adaptive_rrqr_stats ~rebuild ?order ?tol ~batch ?workers sys pts
+  in
+  Printf.printf "reduced: %d -> %d states\n" (Dss.order sys) (Dss.order result.Pmtbr.rom);
+  Printf.printf "samples consumed:  %d of %d offered\n" result.Pmtbr.samples (Array.length pts);
+  Printf.printf "shift solves:      %d%s\n" st.Sample_cache.solves
+    (if rebuild then " (from-scratch reference)" else " (each shift solved once)");
+  Printf.printf "columns held:      %d\n" st.Sample_cache.columns;
+  Printf.printf "batches:           %d\n" st.Sample_cache.batches;
+  Printf.printf "factor/solve time: %.4f s / %.4f s\n" st.Sample_cache.factor_s
+    st.Sample_cache.solve_s;
+  Array.iteri
+    (fun i w -> Printf.printf "batch %-2d wall:     %.4f s\n" (i + 1) w)
+    st.Sample_cache.batch_wall_s;
+  let omegas = Vec.linspace (w_hi /. 100.0) w_hi 40 in
+  let err = Freq.max_rel_error (Freq.sweep sys omegas) (Freq.sweep result.Pmtbr.rom omegas) in
+  Printf.printf "worst in-band relative error: %.3e\n" err
+
+let adaptive_cmd =
+  let doc =
+    "Reduce with on-the-fly order control and report the incremental-sampling counters."
+  in
+  Cmd.v (Cmd.info "adaptive" ~doc)
+    Term.(
+      const run_adaptive $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg
+      $ monitor_arg $ order_arg $ tol_arg $ batch_arg $ rebuild_arg $ samples_arg $ band_arg
+      $ workers_arg)
+
+(* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -346,4 +413,6 @@ let export_cmd =
 let () =
   let doc = "Poor Man's TBR: model order reduction for circuit parasitics" in
   let info = Cmd.info "pmtbr" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ info_cmd; hsv_cmd; reduce_cmd; sweep_cmd; export_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ info_cmd; hsv_cmd; reduce_cmd; adaptive_cmd; sweep_cmd; export_cmd ]))

@@ -18,8 +18,10 @@ type result = {
 
 val choose_order : sigma:float array -> ?order:int -> ?tol:float -> unit -> int
 (** Truncation order from singular values: the smallest [q] whose tail sum
-    [sum_{i >= q} sigma_i] is at most [tol * sigma_0] (default [1e-10]),
-    capped by [order] when given. *)
+    [sum_{i >= q} sigma_i] is at most [tol * sigma_0] (default [1e-10]).
+    An explicit [order] wins outright (clamped to the number of values);
+    only when [tol] is {e also} given does the tail criterion cap it — the
+    default tolerance never shrinks an explicitly requested order. *)
 
 val of_basis : Dss.t -> zw:Mat.t -> ?order:int -> ?tol:float -> samples:int -> unit -> result
 (** Reduce with an externally assembled sample matrix (used by the variant
@@ -37,18 +39,43 @@ val reduce_uniform : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> w_max:
 val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
   ?workers:int -> Dss.t -> Sampling.point array -> result
 (** On-the-fly order control (Section V-C): consume the points in
-    bit-reversed batches of [batch] (default 8) with prefix weights
-    rescaled to keep the implied integral fixed; stop when the leading
+    bit-reversed batches of [batch] (default 8) through an incremental
+    {!Sample_cache} — each shift is solved exactly once for the whole run,
+    prefix-weight rescaling is a diagonal applied at assembly time, and
+    order is monitored per batch from the cache's small factor instead of
+    a state-dimension SVD of a rebuilt matrix.  Stops when the leading
     singular values have converged to [converge_tol] relative change
-    (default 2%) and the tail is below [tol].  [result.samples] reports how
-    many points were actually used. *)
+    (default 2%), the tail is below [tol], and the sample matrix holds at
+    least twice the model order in realified columns (Section V-B); with
+    an explicit [order] and no [tol], leading convergence alone decides.
+    [result.samples] reports how many points were actually used. *)
+
+val reduce_adaptive_stats : ?rebuild:bool -> ?order:int -> ?tol:float -> ?batch:int ->
+  ?converge_tol:float -> ?workers:int -> Dss.t -> Sampling.point array ->
+  result * Sample_cache.stats
+(** {!reduce_adaptive} plus the run's observability counters (shifted
+    solves performed, columns held, per-batch wall time).
+    [stats.solves = stats.points] certifies that no shift was re-solved
+    across batches.  [rebuild] (default [false]) switches to the reference
+    from-scratch loop — a fresh cache per batch, re-solving every consumed
+    shift, O(total^2) solves — kept as the benchmark baseline; its results
+    are bitwise-identical to the incremental path's. *)
 
 val reduce_adaptive_rrqr : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
   ?workers:int -> Dss.t -> Sampling.point array -> result
 (** Like {!reduce_adaptive}, but monitoring convergence with a
-    rank-revealing (column-pivoted) QR per batch instead of a full SVD —
-    the cheaper order-control machinery Section V-C recommends; one SVD at
-    the end builds the final basis. *)
+    rank-revealing (column-pivoted) QR of the cache's small factor per
+    batch — the cheaper order-control machinery Section V-C recommends;
+    one small SVD at the end builds the final basis.  The stopping
+    criterion mirrors {!reduce_adaptive}'s tail check on the normalised
+    R-diagonal profile, so a run cannot stop on leading-value convergence
+    alone with an under-resolved truncation tail. *)
+
+val reduce_adaptive_rrqr_stats : ?rebuild:bool -> ?order:int -> ?tol:float -> ?batch:int ->
+  ?converge_tol:float -> ?workers:int -> Dss.t -> Sampling.point array ->
+  result * Sample_cache.stats
+(** {!reduce_adaptive_rrqr} with counters and the reference rebuild
+    switch, as in {!reduce_adaptive_stats}. *)
 
 val sample_singular_values : ?workers:int -> Dss.t -> Sampling.point array -> float array
 (** Singular values of the sample matrix only (paper Figs. 5 and 8). *)

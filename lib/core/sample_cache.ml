@@ -1,0 +1,236 @@
+(* Incremental cache of sample columns for on-the-fly order control.
+
+   The adaptive loop of Section V-C consumes a point sequence in batches
+   and, before this cache existed, rebuilt the whole sample matrix from
+   scratch at every batch — re-solving every previously consumed shift,
+   O(total^2) solves where O(total) suffice.  The cache makes extension
+   the primitive instead:
+
+   - Each point's *raw, unweighted* realified columns are solved for and
+     stored exactly once ([extend]); the quadrature weight and the
+     adaptive prefix rescaling are applied later as a per-column diagonal
+     at assembly time, so rescaling a prefix costs no solves at all.
+     Storing the columns unweighted is what makes this exact: the
+     realified block of a point with weight [w] is [sqrt w] times its
+     weight-1 block, bit for bit.
+
+   - One [Dss.multi_shift] handle (symbolic sparse-LU analysis, template
+     shift = the first point ever consumed) and one engine worker pool
+     configuration are shared across every batch of the run.
+
+   - A thin QR factorisation of the raw columns (Gram-Schmidt with one
+     re-orthogonalisation pass, extended column by column) is maintained
+     alongside: with [ZW = Q R D] for the diagonal weight matrix [D], the
+     singular values of the small [R D] are those of [ZW], so per-batch
+     order monitoring costs O(c^3) on the column count instead of a full
+     SVD at the state dimension — and the final basis is [Q] times the
+     left singular vectors of [R D].
+
+   Every operation is a pure function of the points consumed so far —
+   batch boundaries, worker counts and rescaling leave no trace in the
+   stored columns — which is what makes the incremental adaptive loop
+   bitwise-identical to the from-scratch one. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type t = {
+  sys : Dss.t;
+  rhs : Mat.t; (* B, the right-hand side of every solve *)
+  n : int; (* state dimension *)
+  inputs : int;
+  workers : int option;
+  oversubscribe : bool;
+  mutable ms : Dss.multi_shift option; (* created at the first extend *)
+  mutable entries : (float * int) array; (* per point: weight, column count *)
+  mutable raw : float array array; (* raw unweighted columns, each length n *)
+  mutable q_cols : float array array; (* thin-QR orthonormal columns *)
+  mutable r_cols : float array array; (* column j of R, length j + 1 *)
+  mutable solves : int;
+  mutable batches : int;
+  mutable factor_s : float;
+  mutable solve_s : float;
+  mutable batch_wall : float list; (* reversed *)
+}
+
+type stats = {
+  solves : int;
+  points : int;
+  columns : int;
+  batches : int;
+  factor_s : float;
+  solve_s : float;
+  batch_wall_s : float array;
+}
+
+let create ?workers ?(oversubscribe = false) sys =
+  {
+    sys;
+    rhs = Dss.b_matrix sys;
+    n = Dss.order sys;
+    inputs = Dss.inputs sys;
+    workers;
+    oversubscribe;
+    ms = None;
+    entries = [||];
+    raw = [||];
+    q_cols = [||];
+    r_cols = [||];
+    solves = 0;
+    batches = 0;
+    factor_s = 0.0;
+    solve_s = 0.0;
+    batch_wall = [];
+  }
+
+let points t = Array.length t.entries
+let columns t = Array.length t.raw
+
+let stats (t : t) : stats =
+  {
+    solves = t.solves;
+    points = points t;
+    columns = columns t;
+    batches = t.batches;
+    factor_s = t.factor_s;
+    solve_s = t.solve_s;
+    batch_wall_s = Array.of_list (List.rev t.batch_wall);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental thin QR                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot n (a : float array) (b : float array) =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+(* Orthogonalise one new raw column against the held Q columns
+   (Gram-Schmidt, two passes — "twice is enough" keeps Q orthonormal to
+   roundoff), yielding its Q column and R column.  Strictly sequential in
+   column order, so replaying the same columns in the same order — in one
+   batch or many — produces bitwise-identical factors. *)
+let orthogonalise t (raw_col : float array) =
+  let n = t.n in
+  let j = columns t in
+  let v = Array.copy raw_col in
+  let rj = Array.make (j + 1) 0.0 in
+  for _pass = 1 to 2 do
+    for i = 0 to j - 1 do
+      let qi = t.q_cols.(i) in
+      let h = dot n qi v in
+      rj.(i) <- rj.(i) +. h;
+      for k = 0 to n - 1 do
+        v.(k) <- v.(k) -. (h *. qi.(k))
+      done
+    done
+  done;
+  let rho = sqrt (dot n v v) in
+  rj.(j) <- rho;
+  let qj = if rho > 0.0 then Array.map (fun x -> x /. rho) v else Array.make n 0.0 in
+  (qj, rj)
+
+(* ------------------------------------------------------------------ *)
+(* Extension                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let extend t (pts : Sampling.point array) =
+  if Array.length pts > 0 then begin
+    let t0 = Unix.gettimeofday () in
+    let ms =
+      match t.ms with
+      | Some ms -> ms
+      | None ->
+          let ms = Dss.multi_shift ~template:pts.(0).Sampling.s t.sys in
+          t.ms <- Some ms;
+          ms
+    in
+    (* weight 1.0 realifies to the raw columns: sqrt 1.0 *. x = x, bitwise *)
+    let tasks =
+      Array.map
+        (fun p ->
+          {
+            Shift_engine.point = { p with Sampling.weight = 1.0 };
+            rhs = t.rhs;
+            hermitian = false;
+          })
+        pts
+    in
+    let block, st =
+      Shift_engine.run ?workers:t.workers ~oversubscribe:t.oversubscribe ~ms t.sys tasks
+    in
+    let new_entries =
+      Array.map
+        (fun p ->
+          let cols = if Shift_engine.is_effectively_real p.Sampling.s then 1 else 2 in
+          (p.Sampling.weight, cols * t.inputs))
+        pts
+    in
+    let new_cols = Array.fold_left (fun acc (_, c) -> acc + c) 0 new_entries in
+    assert (block.Mat.cols = new_cols);
+    t.entries <- Array.append t.entries new_entries;
+    for j = 0 to new_cols - 1 do
+      let raw_col = Mat.col block j in
+      let qj, rj = orthogonalise t raw_col in
+      t.raw <- Array.append t.raw [| raw_col |];
+      t.q_cols <- Array.append t.q_cols [| qj |];
+      t.r_cols <- Array.append t.r_cols [| rj |]
+    done;
+    t.solves <- t.solves + st.Shift_engine.solves;
+    t.factor_s <- t.factor_s +. st.Shift_engine.factor_s;
+    t.solve_s <- t.solve_s +. st.Shift_engine.solve_s;
+    t.batches <- t.batches + 1;
+    t.batch_wall <- (Unix.gettimeofday () -. t0) :: t.batch_wall
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Weighted assembly                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-column weights sqrt(weight * scale): exactly the factor
+   [Shift_engine.realify_block] would have applied had the point been
+   solved with its rescaled weight — same expression, same bits. *)
+let col_weights t ~scale =
+  let cw = Array.make (columns t) 0.0 in
+  let j = ref 0 in
+  Array.iter
+    (fun (weight, cols) ->
+      let w = sqrt (Float.max 0.0 (weight *. scale)) in
+      for _ = 1 to cols do
+        cw.(!j) <- w;
+        incr j
+      done)
+    t.entries;
+  cw
+
+let assemble t ~scale =
+  let c = columns t in
+  if c = 0 then invalid_arg "Sample_cache.assemble: empty cache";
+  let cw = col_weights t ~scale in
+  Mat.init t.n c (fun i j -> cw.(j) *. t.raw.(j).(i))
+
+let small_factor t ~scale =
+  let c = columns t in
+  if c = 0 then invalid_arg "Sample_cache.small_factor: empty cache";
+  let cw = col_weights t ~scale in
+  Mat.init c c (fun i j -> if i <= j then t.r_cols.(j).(i) *. cw.(j) else 0.0)
+
+let apply_q t (coeff : Mat.t) =
+  let c = columns t in
+  if coeff.Mat.rows <> c then invalid_arg "Sample_cache.apply_q: row count mismatch";
+  let out = Mat.create t.n coeff.Mat.cols in
+  for j = 0 to c - 1 do
+    let qj = t.q_cols.(j) in
+    for k = 0 to coeff.Mat.cols - 1 do
+      let w = Mat.get coeff j k in
+      if w <> 0.0 then
+        for i = 0 to t.n - 1 do
+          out.Mat.data.((i * out.Mat.cols) + k) <-
+            out.Mat.data.((i * out.Mat.cols) + k) +. (w *. qj.(i))
+        done
+    done
+  done;
+  out

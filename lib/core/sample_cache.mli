@@ -1,0 +1,75 @@
+(** Incremental cache of sample columns for on-the-fly order control
+    (Section V-C).
+
+    Stores each consumed point's raw {e unweighted} realified columns
+    exactly once and applies quadrature weights — including the adaptive
+    prefix rescaling — as a per-column diagonal at assembly time, so
+    extending an adaptive run by a batch costs only the new shifts' solves
+    and rescaling an already-held prefix costs none.  One
+    {!Pmtbr_lti.Dss.multi_shift} handle (symbolic sparse-LU analysis) is
+    shared across all batches.
+
+    A thin QR factorisation of the raw columns is maintained incrementally:
+    with [ZW = Q R D] ([D] the diagonal of column weights), the singular
+    values of the small {!small_factor} [R D] are those of the assembled
+    [ZW], and [Q *] the left singular vectors of [R D] is its left singular
+    basis — so per-batch order monitoring and the final basis never need an
+    SVD at the full state dimension.
+
+    Everything held is a pure function of the point sequence consumed so
+    far: extending in one batch or many, with any worker count, yields
+    bitwise-identical columns, factors and assemblies. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type t
+
+type stats = {
+  solves : int;  (** shifted solves performed over the cache lifetime *)
+  points : int;  (** sample points held *)
+  columns : int;  (** realified columns held *)
+  batches : int;  (** [extend] calls that did work *)
+  factor_s : float;  (** summed factorisation seconds across batches *)
+  solve_s : float;  (** summed solve + realify seconds across batches *)
+  batch_wall_s : float array;  (** wall seconds of each [extend], in order *)
+}
+
+val create : ?workers:int -> ?oversubscribe:bool -> Dss.t -> t
+(** Empty cache for the controllability-side samples [(s E - A)^{-1} B].
+    [workers] and [oversubscribe] configure the {!Shift_engine} pool used
+    by every {!extend}. *)
+
+val extend : t -> Sampling.point array -> unit
+(** Append the given {e new} points: solve each shift once (through the
+    shared symbolic analysis), store its raw columns, and extend the thin
+    QR.  Points carry their original quadrature weights; prefix rescaling
+    belongs to assembly ([~scale]), not here.  An empty array is a no-op. *)
+
+val points : t -> int
+(** Number of sample points held. *)
+
+val columns : t -> int
+(** Number of realified columns held (two per complex point and one per
+    real point, times the input count). *)
+
+val stats : t -> stats
+(** Observability counters; [stats.solves = stats.points] certifies that
+    no shift was ever re-solved. *)
+
+val assemble : t -> scale:float -> Mat.t
+(** The weighted sample matrix [ZW] of every held column, with each
+    point's columns scaled by [sqrt (weight *. scale)] — bitwise-identical
+    to [Zmat.build] over the same points with weights multiplied by
+    [scale].  Raises [Invalid_argument] on an empty cache. *)
+
+val small_factor : t -> scale:float -> Mat.t
+(** The upper-triangular [R D] ([columns x columns]) with
+    [assemble ~scale = Q * small_factor ~scale]: its singular values are
+    those of the assembled [ZW] (up to roundoff), at the column dimension
+    instead of the state dimension. *)
+
+val apply_q : t -> Mat.t -> Mat.t
+(** [apply_q t coeff] is [Q * coeff] for a [columns x k] coefficient
+    matrix — used to lift singular vectors of {!small_factor} back to
+    state-space columns. *)

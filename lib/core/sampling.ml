@@ -21,21 +21,31 @@ let of_rule (rule : Quad.rule) =
     rule.Quad.nodes
 
 let points scheme ~count =
-  assert (count >= 1);
+  if count < 1 then invalid_arg "Sampling.points: count must be >= 1";
   match scheme with
   | Uniform { w_max } -> of_rule (Quad.midpoint ~lo:0.0 ~hi:w_max count)
   | Log { w_min; w_max } -> of_rule (Quad.log_spaced ~lo:w_min ~hi:w_max (max 2 count))
   | Gauss { w_max } -> of_rule (Quad.gauss_legendre ~lo:0.0 ~hi:w_max count)
   | Bands bands ->
-      assert (bands <> []);
+      if bands = [] then invalid_arg "Sampling.points: empty band list";
+      List.iter
+        (fun (lo, hi) ->
+          if not (hi > lo) then
+            invalid_arg (Printf.sprintf "Sampling.points: empty band [%g, %g]" lo hi))
+        bands;
+      (* distribute [count] over the bands: [count / nb] each, with the
+         remainder going to the leading bands one point apiece, so exactly
+         [count] points come back whenever [count >= nb] (each band still
+         gets at least one point, so fewer than [nb] requested yields [nb]) *)
       let nb = List.length bands in
-      let per = max 1 (count / nb) in
+      let base = count / nb and rem = count mod nb in
       let all =
-        List.concat_map
-          (fun (lo, hi) ->
-            assert (hi > lo);
-            Array.to_list (of_rule (Quad.gauss_legendre ~lo ~hi per)))
-          bands
+        List.concat
+          (List.mapi
+             (fun i (lo, hi) ->
+               let per = max 1 (base + if i < rem then 1 else 0) in
+               Array.to_list (of_rule (Quad.gauss_legendre ~lo ~hi per)))
+             bands)
       in
       Array.of_list all
 
@@ -50,7 +60,12 @@ let reweight w pts =
     (fun p ->
       let omega = Float.abs p.s.Complex.im in
       let factor = w omega in
-      assert (factor >= 0.0);
+      (* [not (factor >= 0)] also rejects nan; an [assert] would vanish
+         under -noassert and let a negative weighting corrupt the Gramian *)
+      if not (factor >= 0.0) then
+        invalid_arg
+          (Printf.sprintf "Sampling.reweight: weighting function returned %g < 0 at omega = %g"
+             factor omega);
       { p with weight = p.weight *. factor })
     pts
 

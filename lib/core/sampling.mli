@@ -17,8 +17,12 @@ val of_rule : Pmtbr_signal.Quad.rule -> point array
 (** Turn a quadrature rule over omega into points [s = j omega]. *)
 
 val points : scheme -> count:int -> point array
-(** Generate [count] weighted points (band schemes distribute the count
-    evenly over the bands). *)
+(** Generate [count] weighted points.  [Bands] distributes the count over
+    the bands — [count / nb] points each plus one more in the leading
+    [count mod nb] bands — so exactly [count] points come back whenever
+    [count >= nb]; with fewer, every band still gets one point ([nb]
+    total).  Raises [Invalid_argument] on [count < 1], an empty band list,
+    or a band with [hi <= lo]. *)
 
 val total_weight : point array -> float
 (** Total quadrature mass, i.e. the implied bandwidth of the weighting. *)
@@ -27,7 +31,8 @@ val reweight : (float -> float) -> point array -> point array
 (** Frequency-weighted Gramian sampling (paper eq. 18): multiply each
     quadrature weight by the non-negative weighting function [w omega],
     turning the implied Gramian into the frequency-weighted
-    [X_FW = integral (jwE - A)^{-1} B B^T (jwE - A)^{-H} w(omega) dw]. *)
+    [X_FW = integral (jwE - A)^{-1} B B^T (jwE - A)^{-H} w(omega) dw].
+    Raises [Invalid_argument] if [w] returns a negative (or nan) value. *)
 
 val prefixes : point array -> batch:int -> point array list
 (** Leading prefixes of sizes [batch, 2*batch, ...], ending with the full

@@ -88,7 +88,7 @@ let run_task ms (t : task) ~factor_acc ~solve_acc =
   solve_acc := !solve_acc +. (t2 -. t1);
   block
 
-let run ?workers ?(oversubscribe = false) ?(chunk = 1) sys (tasks : task array) =
+let run ?workers ?(oversubscribe = false) ?(chunk = 1) ?ms sys (tasks : task array) =
   let nt = Array.length tasks in
   if nt = 0 then invalid_arg "Shift_engine.run: no tasks";
   if chunk < 1 then invalid_arg "Shift_engine.run: chunk must be >= 1";
@@ -103,8 +103,14 @@ let run ?workers ?(oversubscribe = false) ?(chunk = 1) sys (tasks : task array) 
   let cap = if oversubscribe then requested else min requested (default_workers ()) in
   let nw = max 1 (min cap nt) in
   (* the template shift is the first task's point — independent of the
-     worker count, so serial and parallel runs share it *)
-  let ms = Dss.multi_shift ~template:tasks.(0).point.Sampling.s sys in
+     worker count, so serial and parallel runs share it.  A caller that
+     extends a sample set incrementally ([Sample_cache]) passes its own
+     handle so the symbolic analysis is shared across batches too. *)
+  let ms =
+    match ms with
+    | Some ms -> ms
+    | None -> Dss.multi_shift ~template:tasks.(0).point.Sampling.s sys
+  in
   let blocks : Mat.t option array = Array.make nt None in
   let failures : (int * exn) option array = Array.make nw None in
   let factor_t = Array.make nw 0.0

@@ -37,14 +37,22 @@ val utilisation : stats -> float
     [workers * wall]. *)
 
 val run :
-  ?workers:int -> ?oversubscribe:bool -> ?chunk:int -> Dss.t -> task array -> Mat.t * stats
+  ?workers:int ->
+  ?oversubscribe:bool ->
+  ?chunk:int ->
+  ?ms:Dss.multi_shift ->
+  Dss.t ->
+  task array ->
+  Mat.t * stats
 (** Solve every task and concatenate the realified blocks in task order.
     [workers = 1] runs inline in the calling domain (the serial path);
     [chunk] (default 1) is the number of consecutive tasks a worker claims
     per queue round-trip.  The first task's point is the template shift
-    for the shared symbolic analysis.  An exception raised by any task
-    (e.g. [Sparse_lu.C.Singular]) is re-raised here, deterministically the
-    one with the lowest task index.
+    for the shared symbolic analysis; [ms] supplies a pre-built handle
+    instead, so incremental callers ({!Sample_cache}) share one symbolic
+    analysis across every batch of an adaptive run.  An exception raised
+    by any task (e.g. [Sparse_lu.C.Singular]) is re-raised here,
+    deterministically the one with the lowest task index.
 
     The pool is capped at {!default_workers} — on OCaml 5 every minor
     collection synchronises all domains, so running more domains than

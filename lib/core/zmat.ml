@@ -10,7 +10,11 @@
    The heavy lifting — shifted solves with one shared symbolic analysis,
    optionally over a domain pool — lives in [Shift_engine]; this module
    keeps the historical entry points (plus [?workers]) and the legacy
-   one-shot per-point path used as the benchmark baseline. *)
+   one-shot per-point path used as the benchmark baseline.  The adaptive
+   order-control loops do not rebuild through here: they extend a
+   [Sample_cache] batch by batch (each shift solved once, weights applied
+   at assembly), whose [assemble] is bitwise-identical to [build] over the
+   same weighted points. *)
 
 open Pmtbr_la
 open Pmtbr_lti

@@ -4,6 +4,13 @@
    here because PMTBR order control reads 10-15 decades of singular value
    decay (paper Fig. 5).
 
+   The working matrix lives as one unboxed float array per column: every
+   Jacobi rotation touches exactly two columns, so the column layout turns
+   the inner loops into contiguous unsafe array walks.  The rotations sweep
+   the same fixed cyclic (p, q) order and accumulate the same three dot
+   products in the same element order as the textbook row-major version, so
+   the storage change does not move a single bit of the result.
+
    [decompose a] returns (u, sigma, v) with a = u * diag(sigma) * v^T,
    u : m×r, v : n×r orthonormal columns, sigma descending, r = min m n. *)
 
@@ -11,12 +18,12 @@ type t = { u : Mat.t; sigma : float array; v : Mat.t }
 
 let max_sweeps = 60
 
-(* Core routine for m >= n. *)
-let jacobi_tall (a : Mat.t) =
-  let m = a.Mat.rows and n = a.Mat.cols in
-  let w = Mat.copy a in
-  let v = Mat.identity n in
-  let eps = 1e-15 in
+(* One cyclic-Jacobi run over columns [w] (each length [m]), optionally
+   accumulating the right-hand rotations into [v] (each length [n]).
+   Rotations stop when every column pair is orthogonal to [threshold]
+   relative accuracy; Hestenes' method then has each singular value to
+   roughly that same *relative* accuracy, large and tiny alike. *)
+let jacobi_core ~threshold ~(w : float array array) ~(v : float array array option) m n =
   let converged = ref false in
   let sweeps = ref 0 in
   while (not !converged) && !sweeps < max_sweeps do
@@ -24,16 +31,17 @@ let jacobi_tall (a : Mat.t) =
     converged := true;
     for p = 0 to n - 2 do
       for q = p + 1 to n - 1 do
+        let wp = w.(p) and wq = w.(q) in
         (* alpha = w_p . w_p, beta = w_q . w_q, gamma = w_p . w_q *)
         let alpha = ref 0.0 and beta = ref 0.0 and gamma = ref 0.0 in
         for i = 0 to m - 1 do
-          let wp = Mat.get w i p and wq = Mat.get w i q in
-          alpha := !alpha +. (wp *. wp);
-          beta := !beta +. (wq *. wq);
-          gamma := !gamma +. (wp *. wq)
+          let a = Array.unsafe_get wp i and b = Array.unsafe_get wq i in
+          alpha := !alpha +. (a *. a);
+          beta := !beta +. (b *. b);
+          gamma := !gamma +. (a *. b)
         done;
         let alpha = !alpha and beta = !beta and gamma = !gamma in
-        if Float.abs gamma > eps *. sqrt (alpha *. beta) && gamma <> 0.0 then begin
+        if Float.abs gamma > threshold *. sqrt (alpha *. beta) && gamma <> 0.0 then begin
           converged := false;
           let zeta = (beta -. alpha) /. (2.0 *. gamma) in
           let t =
@@ -44,33 +52,51 @@ let jacobi_tall (a : Mat.t) =
           let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
           let s = c *. t in
           for i = 0 to m - 1 do
-            let wp = Mat.get w i p and wq = Mat.get w i q in
-            Mat.set w i p ((c *. wp) -. (s *. wq));
-            Mat.set w i q ((s *. wp) +. (c *. wq))
+            let a = Array.unsafe_get wp i and b = Array.unsafe_get wq i in
+            Array.unsafe_set wp i ((c *. a) -. (s *. b));
+            Array.unsafe_set wq i ((s *. a) +. (c *. b))
           done;
-          for i = 0 to n - 1 do
-            let vp = Mat.get v i p and vq = Mat.get v i q in
-            Mat.set v i p ((c *. vp) -. (s *. vq));
-            Mat.set v i q ((s *. vp) +. (c *. vq))
-          done
+          match v with
+          | None -> ()
+          | Some v ->
+              let vp = v.(p) and vq = v.(q) in
+              for i = 0 to n - 1 do
+                let a = Array.unsafe_get vp i and b = Array.unsafe_get vq i in
+                Array.unsafe_set vp i ((c *. a) -. (s *. b));
+                Array.unsafe_set vq i ((s *. a) +. (c *. b))
+              done
         end
       done
     done
-  done;
-  (* Singular values are the column norms of w; normalise to get U. *)
-  let sigma = Array.init n (fun j -> Vec.norm2 (Mat.col w j)) in
-  let order = Array.init n (fun j -> j) in
+  done
+
+let columns_of (a : Mat.t) = Array.init a.Mat.cols (fun j -> Mat.col a j)
+
+(* Descending order of the column norms. *)
+let sort_order (sigma : float array) =
+  let order = Array.init (Array.length sigma) (fun j -> j) in
   Array.sort (fun i j -> compare sigma.(j) sigma.(i)) order;
+  order
+
+(* Core routine for m >= n. *)
+let jacobi_tall (a : Mat.t) =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let w = columns_of a in
+  let v = Array.init n (fun j -> Array.init n (fun i -> if i = j then 1.0 else 0.0)) in
+  jacobi_core ~threshold:1e-15 ~w ~v:(Some v) m n;
+  (* Singular values are the column norms of w; normalise to get U. *)
+  let sigma = Array.map Vec.norm2 w in
+  let order = sort_order sigma in
   let s_sorted = Array.map (fun j -> sigma.(j)) order in
   let u = Mat.create m n in
   let vs = Mat.create n n in
   Array.iteri
     (fun jnew jold ->
       let s = sigma.(jold) in
-      let colw = Mat.col w jold in
+      let colw = w.(jold) in
       let ucol = if s > 0.0 then Vec.scale (1.0 /. s) colw else colw in
       Mat.set_col u jnew ucol;
-      Mat.set_col vs jnew (Mat.col v jold))
+      Mat.set_col vs jnew v.(jold))
     order;
   { u; sigma = s_sorted; v = vs }
 
@@ -81,8 +107,20 @@ let decompose (a : Mat.t) =
     { u = v; sigma; v = u }
   end
 
-(* Singular values only. *)
-let values a = (decompose a).sigma
+(* Singular values only: same sweeps on the same columns, but the
+   right-hand rotations are never accumulated and no U/V is assembled —
+   the working columns evolve identically, so the values match
+   [decompose]'s bit for bit at the default threshold.  A looser
+   [threshold] trades (relative) accuracy for fewer sweeps; adaptive
+   order-control monitors use that, final decompositions must not. *)
+let values ?(threshold = 1e-15) (a : Mat.t) =
+  let a = if a.Mat.rows >= a.Mat.cols then a else Mat.transpose a in
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let w = columns_of a in
+  jacobi_core ~threshold ~w ~v:None m n;
+  let sigma = Array.map Vec.norm2 w in
+  let order = sort_order sigma in
+  Array.map (fun j -> sigma.(j)) order
 
 (* Numerical rank at relative tolerance [tol]. *)
 let rank ?(tol = 1e-12) a =

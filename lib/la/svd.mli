@@ -15,8 +15,13 @@ type t = {
 val decompose : Mat.t -> t
 (** [decompose a] satisfies [a = u * diag sigma * v^T]. *)
 
-val values : Mat.t -> float array
-(** Singular values only, descending. *)
+val values : ?threshold:float -> Mat.t -> float array
+(** Singular values only, descending.  Skips the U/V accumulation of
+    [decompose] but runs the identical rotation sweeps, so at the default
+    [threshold] ([1e-15]) the values match [decompose]'s bit for bit.  A
+    looser [threshold] stops the sweeps earlier, computing every value to
+    roughly that relative accuracy — meant for convergence monitors that
+    only compare values between iterations, not for final answers. *)
 
 val rank : ?tol:float -> Mat.t -> int
 (** Number of singular values above [tol] (default [1e-12]) relative to the
