@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-adaptive clean
+.PHONY: all build test check bench bench-adaptive bench-variants clean
 
 all: build
 
@@ -20,6 +20,12 @@ bench:
 # drops below 3x over the from-scratch baseline, or outputs diverge)
 bench-adaptive:
 	dune exec bench/adaptive_bench.exe
+
+# regenerate BENCH_variants.json (fails if the cross-Gramian compressed
+# pencil drops below 2x over the dense state-dimension QR, the spectra
+# disagree, or any cached variant loses batch/worker determinism)
+bench-variants:
+	dune exec bench/variants_bench.exe
 
 clean:
 	dune clean

@@ -17,4 +17,7 @@ OCAMLRUNPARAM=b dune exec test/test_shift_engine.exe -- test determinism
 echo "== adaptive-sampling smoke bench"
 OCAMLRUNPARAM=b dune exec bench/adaptive_bench.exe -- --smoke
 
+echo "== variant-pipeline smoke bench (cross-Gramian pencil + variant determinism)"
+OCAMLRUNPARAM=b dune exec bench/variants_bench.exe -- --smoke
+
 echo "CI OK"

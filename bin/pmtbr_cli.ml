@@ -208,7 +208,16 @@ let hsv_cmd =
 (* reduce                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type meth = M_pmtbr | M_fs | M_prima | M_tbr | M_multipoint | M_cross | M_two_step | M_pod
+type meth =
+  | M_pmtbr
+  | M_fs
+  | M_prima
+  | M_tbr
+  | M_multipoint
+  | M_cross
+  | M_correlated
+  | M_two_step
+  | M_pod
 
 let method_names =
   [
@@ -218,6 +227,7 @@ let method_names =
     ("tbr", M_tbr);
     ("multipoint", M_multipoint);
     ("cross-gramian", M_cross);
+    ("correlated", M_correlated);
     ("two-step", M_two_step);
     ("pod", M_pod);
   ]
@@ -237,7 +247,57 @@ let tol_arg =
     & opt (some float) None
     & info [ "tol" ] ~docv:"TOL" ~doc:"Singular-value tail tolerance for order control.")
 
-let run_reduce circuit spice size ports seed meth order tol samples band workers =
+let stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the sample-cache counters (shift solves, columns held, batches, timings).  \
+           Available for the cache-pipeline methods: pmtbr, fs-pmtbr, multipoint, \
+           cross-gramian, correlated.")
+
+let adaptive_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Use the adaptive cache-driven entry point with on-the-fly order control \
+           (pmtbr, fs-pmtbr, cross-gramian, correlated).")
+
+let draws_arg =
+  Arg.(
+    value
+    & opt int 40
+    & info [ "draws" ] ~docv:"D"
+        ~doc:
+          "Random input-direction draws for the correlated method (the cap when \
+           --adaptive).")
+
+let print_stats ?(note = "each shift solved once") (st : Sample_cache.stats) =
+  Printf.printf "shift solves:      %d (%s)\n" st.Sample_cache.solves note;
+  Printf.printf "points sampled:    %d\n" st.Sample_cache.points;
+  Printf.printf "columns held:      %d\n" st.Sample_cache.columns;
+  Printf.printf "batches:           %d\n" st.Sample_cache.batches;
+  Printf.printf "factor/solve time: %.4f s / %.4f s\n" st.Sample_cache.factor_s
+    st.Sample_cache.solve_s
+
+(* Synthesized correlated input class for --method correlated: square waves
+   derived from one clock (dithered timing, fixed per-port amplitudes), the
+   Section VI-C experiment's input model, with the clock period tied to the
+   sampling band. *)
+let correlated_inputs sys ~seed ~w_hi =
+  let period = 2.0 *. Float.pi *. 10.0 /. w_hi in
+  let bank =
+    Pmtbr_signal.Waveform.dithered_square_bank ~rng:(Pmtbr_signal.Rng.create seed)
+      ~ports:(Dss.inputs sys) ~period ~dither:0.1
+  in
+  let waves = Array.map (fun w t -> 1e-3 *. w t) bank in
+  Pmtbr_signal.Waveform.sample_matrix waves ~t0:0.0 ~t1:(4.0 *. period) ~samples:400
+
+let run_reduce circuit spice size ports seed meth order tol samples band workers stats adaptive
+    draws =
   let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
   let sys = Dss.of_netlist nl in
   let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
@@ -247,37 +307,95 @@ let run_reduce circuit spice size ports seed meth order tol samples band workers
     | _ -> Sampling.points (Sampling.Uniform { w_max = w_hi }) ~count:samples
   in
   let workers = workers_opt workers in
-  let rom =
+  let no_adaptive name = failwith (name ^ " has no adaptive cache pipeline (drop --adaptive)") in
+  let no_stats name = failwith (name ^ " does not run through the sample cache (drop --stats)") in
+  (* each arm yields the reduced model, the sample count actually consumed
+     (when meaningful), and the cache counters (when the method runs
+     through the pipeline) *)
+  let rom, used, st =
     match meth with
-    | M_pmtbr -> (Pmtbr.reduce ?order ?tol ?workers sys pts).Pmtbr.rom
+    | M_pmtbr when adaptive ->
+        let r, st = Pmtbr.reduce_adaptive_stats ?order ?tol ?workers sys pts in
+        (r.Pmtbr.rom, Some (r.Pmtbr.samples, Array.length pts), Some st)
+    | M_pmtbr when stats ->
+        let r, st = Pmtbr.reduce_stats ?order ?tol ?workers sys pts in
+        (r.Pmtbr.rom, None, Some st)
+    | M_pmtbr -> ((Pmtbr.reduce ?order ?tol ?workers sys pts).Pmtbr.rom, None, None)
     | M_fs ->
         let lo, hi = match band with Some b -> b | None -> (0.0, w_hi) in
-        (Freq_selective.reduce ?order ?tol ?workers sys
-           ~bands:[ Freq_selective.band ~lo ~hi ]
-           ~count:samples)
-          .Pmtbr.rom
-    | M_prima ->
-        (Prima.reduce_to_order sys ~s0:(w_hi /. 20.0) ~order:(Option.value order ~default:10))
-          .Prima.rom
-    | M_tbr -> (Tbr.reduce_dss ?order ?tol sys).Tbr.rom
+        let bands = [ Freq_selective.band ~lo ~hi ] in
+        if adaptive then begin
+          let r, st =
+            Freq_selective.reduce_adaptive_stats ?order ?tol ?workers sys ~bands ~count:samples
+          in
+          (r.Pmtbr.rom, Some (r.Pmtbr.samples, Array.length pts), Some st)
+        end
+        else if stats then begin
+          let r, st = Freq_selective.reduce_stats ?order ?tol ?workers sys ~bands ~count:samples in
+          (r.Pmtbr.rom, None, Some st)
+        end
+        else
+          ((Freq_selective.reduce ?order ?tol ?workers sys ~bands ~count:samples).Pmtbr.rom,
+           None, None)
     | M_multipoint ->
-        (Multipoint.reduce ?workers sys (Sampling.spread_order pts)
-           ~count:(max 1 (Option.value order ~default:10 / 2)))
-          .Multipoint.rom
-    | M_cross -> (Cross_gramian.reduce ?order ?workers sys pts).Cross_gramian.rom
+        if adaptive then no_adaptive "multipoint";
+        let r, st =
+          Multipoint.reduce_stats ?workers sys (Sampling.spread_order pts)
+            ~count:(max 1 (Option.value order ~default:10 / 2))
+        in
+        (r.Multipoint.rom, None, if stats then Some st else None)
+    | M_cross when adaptive ->
+        let r, st = Cross_gramian.reduce_adaptive_stats ?order ?workers sys pts in
+        (r.Cross_gramian.rom, Some (r.Cross_gramian.samples, Array.length pts), Some st)
+    | M_cross ->
+        let r, st = Cross_gramian.reduce_cached_stats ?order ?workers sys pts in
+        (r.Cross_gramian.rom, None, if stats then Some st else None)
+    | M_correlated ->
+        let inputs = correlated_inputs sys ~seed ~w_hi in
+        if adaptive then begin
+          let r, st =
+            Input_correlated.reduce_adaptive_stats ?order ?tol ~seed ?workers sys ~inputs
+              ~points:pts ~max_draws:draws
+          in
+          (r.Input_correlated.rom, Some (r.Input_correlated.samples, draws), Some st)
+        end
+        else begin
+          let r, st =
+            Input_correlated.reduce_stats ?order ?tol ~seed ?workers sys ~inputs ~points:pts
+              ~draws
+          in
+          (r.Input_correlated.rom, None, if stats then Some st else None)
+        end
+    | M_prima ->
+        if adaptive then no_adaptive "prima";
+        if stats then no_stats "prima";
+        ((Prima.reduce_to_order sys ~s0:(w_hi /. 20.0) ~order:(Option.value order ~default:10))
+           .Prima.rom, None, None)
+    | M_tbr ->
+        if adaptive then no_adaptive "tbr";
+        if stats then no_stats "tbr";
+        ((Tbr.reduce_dss ?order ?tol sys).Tbr.rom, None, None)
     | M_two_step ->
+        if adaptive then no_adaptive "two-step";
+        if stats then no_stats "two-step";
         let q = Option.value order ~default:10 in
-        (Two_step.reduce sys ~s0:(w_hi /. 20.0) ~intermediate:(3 * q) ~order:q ())
-          .Two_step.rom
+        ((Two_step.reduce sys ~s0:(w_hi /. 20.0) ~intermediate:(3 * q) ~order:q ()).Two_step.rom,
+         None, None)
     | M_pod ->
+        if adaptive then no_adaptive "pod";
+        if stats then no_stats "pod";
         let rise = 10.0 /. w_hi in
         let u t =
           Array.init (Dss.inputs sys) (fun _ -> Float.min 1e-3 (Float.max 0.0 (1e-3 *. t /. rise)))
         in
-        (Time_sampled.reduce ?order ?tol sys ~u ~t1:(200.0 *. rise) ~dt:rise ~snapshots:150)
-          .Time_sampled.rom
+        ((Time_sampled.reduce ?order ?tol sys ~u ~t1:(200.0 *. rise) ~dt:rise ~snapshots:150)
+           .Time_sampled.rom, None, None)
   in
   Printf.printf "reduced: %d -> %d states\n" (Dss.order sys) (Dss.order rom);
+  Option.iter
+    (fun (n, offered) -> Printf.printf "samples consumed:  %d of %d offered\n" n offered)
+    used;
+  if stats then Option.iter print_stats st;
   let omegas = Vec.linspace (w_hi /. 100.0) w_hi 40 in
   let err = Freq.max_rel_error (Freq.sweep sys omegas) (Freq.sweep rom omegas) in
   Printf.printf "worst in-band relative error: %.3e\n" err
@@ -287,7 +405,8 @@ let reduce_cmd =
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
       const run_reduce $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ method_arg
-      $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg)
+      $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg $ stats_arg $ adaptive_arg
+      $ draws_arg)
 
 (* ------------------------------------------------------------------ *)
 (* adaptive                                                            *)

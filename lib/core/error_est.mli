@@ -7,7 +7,9 @@ val tail_bound : float array -> int -> float
     sigma_i]. *)
 
 val curve : float array -> float array
-(** Estimates for every order [0 .. n]. *)
+(** Estimates for every order [0 .. n], computed as one reverse cumulative
+    sum (O(n)); [curve sigma].(q) equals [tail_bound sigma q] up to
+    summation-order roundoff. *)
 
 val normalized_curve : float array -> float array
 (** {!curve} normalised by [2 * sigma_0] (the "normalised error estimate"

@@ -2,12 +2,15 @@
    the sample points are restricted to the union of the frequency bands of
    interest, which makes the implied Gramian the finite-bandwidth Gramian of
    eq. 16-18.  The reduced model concentrates its accuracy inside the bands
-   and ignores out-of-band behaviour. *)
+   and ignores out-of-band behaviour.  Being a pure re-parameterisation of
+   the point selection, it inherits the whole cache pipeline — adaptive
+   order control, solve-once counters — from [Pmtbr]. *)
 
 type band = { lo : float; hi : float } (* rad/s *)
 
 let band ~lo ~hi =
-  assert (hi > lo && lo >= 0.0);
+  if not (hi > lo && lo >= 0.0) then
+    invalid_arg (Printf.sprintf "Freq_selective.band: bad band [%g, %g]" lo hi);
   { lo; hi }
 
 let scheme_of_bands bands = Sampling.Bands (List.map (fun b -> (b.lo, b.hi)) bands)
@@ -17,7 +20,14 @@ let reduce ?order ?tol ?workers sys ~bands ~count =
   let pts = Sampling.points (scheme_of_bands bands) ~count in
   Pmtbr.reduce ?order ?tol ?workers sys pts
 
-(* Adaptive variant with on-the-fly order control. *)
-let reduce_adaptive ?order ?tol ?batch ?workers sys ~bands ~count =
+let reduce_stats ?order ?tol ?workers sys ~bands ~count =
   let pts = Sampling.points (scheme_of_bands bands) ~count in
-  Pmtbr.reduce_adaptive ?order ?tol ?batch ?workers sys pts
+  Pmtbr.reduce_stats ?order ?tol ?workers sys pts
+
+(* Adaptive variant with on-the-fly order control. *)
+let reduce_adaptive_stats ?order ?tol ?batch ?converge_tol ?workers sys ~bands ~count =
+  let pts = Sampling.points (scheme_of_bands bands) ~count in
+  Pmtbr.reduce_adaptive_stats ?order ?tol ?batch ?converge_tol ?workers sys pts
+
+let reduce_adaptive ?order ?tol ?batch ?converge_tol ?workers sys ~bands ~count =
+  fst (reduce_adaptive_stats ?order ?tol ?batch ?converge_tol ?workers sys ~bands ~count)

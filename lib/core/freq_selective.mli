@@ -8,7 +8,8 @@ type band = { lo : float; hi : float }
 (** A frequency interval in rad/s. *)
 
 val band : lo:float -> hi:float -> band
-(** Validated constructor ([0 <= lo < hi]). *)
+(** Validated constructor ([0 <= lo < hi]); raises [Invalid_argument]
+    otherwise. *)
 
 val scheme_of_bands : band list -> Sampling.scheme
 (** The sampling scheme drawing Gauss-Legendre points in each band. *)
@@ -17,6 +18,18 @@ val reduce : ?order:int -> ?tol:float -> ?workers:int -> Pmtbr_lti.Dss.t -> band
   count:int -> Pmtbr.result
 (** Reduce with [count] points drawn only from [bands]. *)
 
-val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?workers:int ->
-  Pmtbr_lti.Dss.t -> bands:band list -> count:int -> Pmtbr.result
-(** Adaptive variant with on-the-fly order control. *)
+val reduce_stats : ?order:int -> ?tol:float -> ?workers:int -> Pmtbr_lti.Dss.t ->
+  bands:band list -> count:int -> Pmtbr.result * Sample_cache.stats
+(** {!reduce} through the cache pipeline, surfacing the solve counters
+    ([solves = points]). *)
+
+val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
+  ?workers:int -> Pmtbr_lti.Dss.t -> bands:band list -> count:int -> Pmtbr.result
+(** Adaptive variant with on-the-fly order control (see
+    {!Pmtbr.reduce_adaptive}). *)
+
+val reduce_adaptive_stats : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
+  ?workers:int -> Pmtbr_lti.Dss.t -> bands:band list -> count:int ->
+  Pmtbr.result * Sample_cache.stats
+(** {!reduce_adaptive} plus the incremental-sampling counters
+    ([solves = points]: no shift re-solved across batches). *)

@@ -5,7 +5,14 @@
     frequency sample is taken against an input direction drawn from the
     estimated input distribution, so the sampled Gramian converges to the
     K-weighted one and the model order tracks the {e correlated} — much
-    smaller — controllable subspace. *)
+    smaller — controllable subspace.
+
+    Both variants run through the shared {!Sample_cache} pipeline (a
+    {!Sample_cache.Per_point} source for the random draws, a
+    {!Sample_cache.Fixed_rhs} source for the deterministic directions):
+    every shift is solved exactly once per run through one symbolic
+    analysis, [_stats] entry points surface the counters, and
+    {!reduce_adaptive} controls the Monte Carlo draw count on the fly. *)
 
 open Pmtbr_la
 open Pmtbr_lti
@@ -24,11 +31,45 @@ val reduce : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int -> ?worke
     waveforms; [points] the frequency points to cycle through; [draws] the
     number of sample vectors (each pairing one frequency point with one
     random input direction).  [input_tol] truncates the input SVD (default
-    [1e-6] relative); [seed] makes the direction draws reproducible. *)
+    [1e-6] relative); [seed] makes the direction draws reproducible.  The
+    assembled sample matrix is bitwise-identical to the
+    {!Zmat.build_per_point} reference over the same draws. *)
+
+val reduce_stats : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int -> ?workers:int ->
+  Dss.t -> inputs:Mat.t -> points:Sampling.point array -> draws:int ->
+  result * Sample_cache.stats
+(** {!reduce} plus the cache counters; [stats.solves = stats.points = draws]
+    certifies one solve per draw. *)
+
+val reduce_adaptive : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int -> ?batch:int ->
+  ?converge_tol:float -> ?workers:int -> Dss.t -> inputs:Mat.t ->
+  points:Sampling.point array -> max_draws:int -> result
+(** Adaptive draws-loop: consume up to [max_draws] random draws in batches
+    of [batch] (default 8) through the cache, rescaling the held prefix at
+    assembly so every batch estimates the same K-weighted Gramian, and
+    stop when the leading singular values have converged to [converge_tol]
+    relative change (default 2%), the tail is below [tol], and the sample
+    block holds at least twice the model order in columns.
+    [result.samples] reports the draws consumed.  Results are
+    bitwise-independent of [batch] boundaries and worker count (the rng
+    stream is consumed strictly in draw order). *)
+
+val reduce_adaptive_stats : ?order:int -> ?tol:float -> ?input_tol:float -> ?seed:int ->
+  ?batch:int -> ?converge_tol:float -> ?workers:int -> Dss.t -> inputs:Mat.t ->
+  points:Sampling.point array -> max_draws:int -> result * Sample_cache.stats
+(** {!reduce_adaptive} with the run's counters ([solves = points] — no
+    draw's shift is ever re-solved across batches). *)
 
 val reduce_deterministic : ?order:int -> ?tol:float -> ?input_tol:float -> ?directions:int ->
   ?workers:int -> Dss.t -> inputs:Mat.t -> points:Sampling.point array -> result
 (** Deterministic variant: use the leading input directions themselves,
     scaled by their singular values, at every frequency point.  Cheaper and
     reproducible; used for the large substrate experiments.  [directions]
-    caps the retained input rank (0 = keep all above [input_tol]). *)
+    caps the retained input rank (0 = keep all above [input_tol]).  The
+    assembled sample matrix is bitwise-identical to the {!Zmat.build_rhs}
+    reference. *)
+
+val reduce_deterministic_stats : ?order:int -> ?tol:float -> ?input_tol:float ->
+  ?directions:int -> ?workers:int -> Dss.t -> inputs:Mat.t -> points:Sampling.point array ->
+  result * Sample_cache.stats
+(** {!reduce_deterministic} plus the cache counters. *)

@@ -3,7 +3,12 @@
    every (orthogonalised) sample column instead of truncating by singular
    value.  The model order therefore equals the number of realified sample
    columns, and redundant information among samples is not pruned - exactly
-   the weakness Fig. 10 exposes. *)
+   the weakness Fig. 10 exposes.
+
+   The samples run through a [Sample_cache] (controllability source) like
+   every other variant, so the one-shot assembly is bitwise-identical to
+   the [Zmat.build] reference and [reduce_stats] surfaces the shared
+   counters — one solve per point through one symbolic analysis. *)
 
 open Pmtbr_la
 open Pmtbr_lti
@@ -12,13 +17,21 @@ type result = { rom : Dss.t; basis : Mat.t; samples : int }
 
 (* Reduce with the first [count] points of [pts] (unweighted: multipoint
    projection has no quadrature interpretation). *)
-let reduce ?workers sys (pts : Sampling.point array) ~count =
-  assert (count >= 1 && count <= Array.length pts);
+let reduce_stats ?workers sys (pts : Sampling.point array) ~count =
+  if count < 1 || count > Array.length pts then
+    invalid_arg
+      (Printf.sprintf "Multipoint.reduce: count %d out of range [1, %d]" count
+         (Array.length pts));
   let used = Array.sub pts 0 count in
   let unweighted = Array.map (fun p -> { p with Sampling.weight = 1.0 }) used in
-  let z = Zmat.build ?workers sys unweighted in
+  let cache = Sample_cache.create ?workers sys in
+  Sample_cache.extend cache unweighted;
+  let z = Sample_cache.assemble cache ~scale:1.0 in
   let basis = Qr.orth z in
-  { rom = Dss.project_congruence sys basis; basis; samples = count }
+  ( { rom = Dss.project_congruence sys basis; basis; samples = count },
+    Sample_cache.stats cache )
+
+let reduce ?workers sys pts ~count = fst (reduce_stats ?workers sys pts ~count)
 
 (* The model order obtained from [count] points (2 columns per complex
    point, 1 per real point, minus rank deficiencies). *)

@@ -102,8 +102,10 @@ let monitor_values cache ~monitor ~scale =
 (* Final result from the cache's thin factorisation: ZW = Q (R D), so the
    SVD of the small [R D] supplies the singular values and [Q U_small] the
    left singular basis — one small SVD per adaptive run instead of one
-   state-dimension SVD per batch. *)
-let result_of_cache sys cache ~scale ?order ?tol ~samples () =
+   state-dimension SVD per batch.  Exposed as [of_cache]: every
+   cache-based variant (frequency-selective, input-correlated) finishes
+   through here. *)
+let of_cache sys cache ~scale ?order ?tol ~samples () =
   let { Svd.u; sigma; _ } = Svd.decompose (Sample_cache.small_factor cache ~scale) in
   let q = choose_order ~sigma ?order ?tol () in
   (* never keep directions below numerical noise *)
@@ -114,6 +116,17 @@ let result_of_cache sys cache ~scale ?order ?tol ~samples () =
   in
   let basis = Sample_cache.apply_q cache (Mat.sub_cols u 0 q) in
   { rom = Dss.project_congruence sys basis; basis; singular_values = sigma; samples }
+
+(* One-shot PMTBR through the cache pipeline, surfacing the solve
+   counters.  Same subspace and singular values as [reduce]; the basis is
+   formed from the thin factorisation ([Q U_small]) instead of a
+   state-dimension SVD of the assembled matrix. *)
+let reduce_stats ?order ?tol ?workers sys (pts : Sampling.point array) =
+  if Array.length pts = 0 then invalid_arg "Pmtbr.reduce_stats: no sample points";
+  let cache = Sample_cache.create ?workers sys in
+  Sample_cache.extend cache pts;
+  let r = of_cache sys cache ~scale:1.0 ?order ?tol ~samples:(Array.length pts) () in
+  (r, Sample_cache.stats cache)
 
 (* The adaptive loop shared by both monitors: consume the point sequence
    in batches through a [Sample_cache] — each shift solved exactly once
@@ -155,7 +168,7 @@ let adaptive_loop ~monitor ~rebuild ~default_converge ?order ?tol ?(batch = 8) ?
   in
   let finish upto =
     let scale = float_of_int n_pts /. float_of_int upto in
-    let result = result_of_cache sys !cache ~scale ?order ?tol ~samples:upto () in
+    let result = of_cache sys !cache ~scale ?order ?tol ~samples:upto () in
     let st = Sample_cache.stats !cache in
     ( result,
       {

@@ -27,6 +27,15 @@ val of_basis : Dss.t -> zw:Mat.t -> ?order:int -> ?tol:float -> samples:int -> u
 (** Reduce with an externally assembled sample matrix (used by the variant
     algorithms). *)
 
+val of_cache :
+  Dss.t -> Sample_cache.t -> scale:float -> ?order:int -> ?tol:float -> samples:int -> unit ->
+  result
+(** Reduce from a {!Sample_cache}'s thin factorisation: the SVD of the
+    small [R D] supplies the singular values and [Q U_small] the basis —
+    no state-dimension SVD.  [scale] is the prefix rescaling passed to
+    {!Sample_cache.small_factor}.  Cache-based variants (adaptive loops,
+    input-correlated) finish through here. *)
+
 val reduce : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> Sampling.point array -> result
 (** One-shot PMTBR with a fixed point set.  [workers] sizes the
     shifted-solve domain pool of {!Shift_engine} (default: all recommended
@@ -35,6 +44,13 @@ val reduce : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> Sampling.point
 val reduce_uniform : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> w_max:float ->
   count:int -> result
 (** Convenience: uniform sampling of [0, w_max]. *)
+
+val reduce_stats : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> Sampling.point array ->
+  result * Sample_cache.stats
+(** One-shot PMTBR through the {!Sample_cache} pipeline, surfacing the
+    solve counters ([stats.solves = stats.points]).  Same subspace and
+    singular values as {!reduce}; the basis is formed from the cache's
+    thin factorisation instead of a state-dimension SVD. *)
 
 val reduce_adaptive : ?order:int -> ?tol:float -> ?batch:int -> ?converge_tol:float ->
   ?workers:int -> Dss.t -> Sampling.point array -> result

@@ -1,22 +1,32 @@
-(* Incremental cache of sample columns for on-the-fly order control.
+(* Incremental cache of sample columns — the shared pipeline layer under
+   every PMTBR variant.
 
-   The adaptive loop of Section V-C consumes a point sequence in batches
-   and, before this cache existed, rebuilt the whole sample matrix from
-   scratch at every batch — re-solving every previously consumed shift,
-   O(total^2) solves where O(total) suffice.  The cache makes extension
-   the primitive instead:
+   The paper presents Algorithms 2-3, the cross-Gramian scheme and the
+   multipoint baseline as re-parameterisations of one sample→SVD→project
+   pipeline; the only thing that changes between them is the *source* of
+   the sample columns:
+
+   - [Controllability]: (s_k E - A)^{-1} B          (Algorithms 1-2)
+   - [Observability]:   (s_k E - A)^{-H} C^T        (cross-Gramian left side)
+   - [Fixed_rhs r]:     (s_k E - A)^{-1} r          (deterministic Algorithm 3)
+   - [Per_point]:       (s_k E - A)^{-1} r_k        (random-draw Algorithm 3)
+
+   The cache makes extension the primitive for all of them:
 
    - Each point's *raw, unweighted* realified columns are solved for and
-     stored exactly once ([extend]); the quadrature weight and the
-     adaptive prefix rescaling are applied later as a per-column diagonal
-     at assembly time, so rescaling a prefix costs no solves at all.
-     Storing the columns unweighted is what makes this exact: the
+     stored exactly once ([extend] / [extend_rhs]); the quadrature weight
+     and the adaptive prefix rescaling are applied later as a per-column
+     diagonal at assembly time, so rescaling a prefix costs no solves at
+     all.  Storing the columns unweighted is what makes this exact: the
      realified block of a point with weight [w] is [sqrt w] times its
      weight-1 block, bit for bit.
 
    - One [Dss.multi_shift] handle (symbolic sparse-LU analysis, template
      shift = the first point ever consumed) and one engine worker pool
-     configuration are shared across every batch of the run.
+     configuration are shared across every batch of the run.  A handle can
+     also be passed in at [create], so the two sides of a cross-Gramian
+     run (controllability and observability caches) share one symbolic
+     analysis — the adjoint solve reuses the same elimination structure.
 
    - A thin QR factorisation of the raw columns (Gram-Schmidt with one
      re-orthogonalisation pass, extended column by column) is maintained
@@ -24,21 +34,30 @@
      singular values of the small [R D] are those of [ZW], so per-batch
      order monitoring costs O(c^3) on the column count instead of a full
      SVD at the state dimension — and the final basis is [Q] times the
-     left singular vectors of [R D].
+     left singular vectors of [R D].  For two caches, [cross_q] gives the
+     small Gram matrix [Q_a^T Q_b] that compresses cross products such as
+     the sampled cross-Gramian pencil to the column dimension.
 
    Every operation is a pure function of the points consumed so far —
    batch boundaries, worker counts and rescaling leave no trace in the
-   stored columns — which is what makes the incremental adaptive loop
-   bitwise-identical to the from-scratch one. *)
+   stored columns — which is what makes the incremental adaptive loops
+   bitwise-identical to their from-scratch references. *)
 
 open Pmtbr_la
 open Pmtbr_lti
 
+type source =
+  | Controllability
+  | Observability
+  | Fixed_rhs of Mat.t
+  | Per_point
+
 type t = {
   sys : Dss.t;
-  rhs : Mat.t; (* B, the right-hand side of every solve *)
+  source : source;
+  rhs : Mat.t option; (* the fixed right-hand side; [None] for [Per_point] *)
+  hermitian : bool; (* adjoint solves (observability side) *)
   n : int; (* state dimension *)
-  inputs : int;
   workers : int option;
   oversubscribe : bool;
   mutable ms : Dss.multi_shift option; (* created at the first extend *)
@@ -63,15 +82,29 @@ type stats = {
   batch_wall_s : float array;
 }
 
-let create ?workers ?(oversubscribe = false) sys =
+let create ?workers ?(oversubscribe = false) ?ms ?(source = Controllability) sys =
+  let n = Dss.order sys in
+  let rhs, hermitian =
+    match source with
+    | Controllability -> (Some (Dss.b_matrix sys), false)
+    | Observability -> (Some (Mat.transpose (Dss.c_matrix sys)), true)
+    | Fixed_rhs r ->
+        if r.Mat.rows <> n then
+          invalid_arg
+            (Printf.sprintf "Sample_cache.create: Fixed_rhs has %d rows for a %d-state system"
+               r.Mat.rows n);
+        (Some r, false)
+    | Per_point -> (None, false)
+  in
   {
     sys;
-    rhs = Dss.b_matrix sys;
-    n = Dss.order sys;
-    inputs = Dss.inputs sys;
+    source;
+    rhs;
+    hermitian;
+    n;
     workers;
     oversubscribe;
-    ms = None;
+    ms;
     entries = [||];
     raw = [||];
     q_cols = [||];
@@ -83,6 +116,8 @@ let create ?workers ?(oversubscribe = false) sys =
     batch_wall = [];
   }
 
+let source t = t.source
+let handle t = t.ms
 let points t = Array.length t.entries
 let columns t = Array.length t.raw
 
@@ -95,6 +130,17 @@ let stats (t : t) : stats =
     factor_s = t.factor_s;
     solve_s = t.solve_s;
     batch_wall_s = Array.of_list (List.rev t.batch_wall);
+  }
+
+let merge_stats (a : stats) (b : stats) : stats =
+  {
+    solves = a.solves + b.solves;
+    points = a.points + b.points;
+    columns = a.columns + b.columns;
+    batches = a.batches + b.batches;
+    factor_s = a.factor_s +. b.factor_s;
+    solve_s = a.solve_s +. b.solve_s;
+    batch_wall_s = Array.append a.batch_wall_s b.batch_wall_s;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -137,37 +183,23 @@ let orthogonalise t (raw_col : float array) =
 (* Extension                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let extend t (pts : Sampling.point array) =
-  if Array.length pts > 0 then begin
+(* Shared extension core: solve every task through the one multi-shift
+   handle, store the raw columns, and grow the thin QR.  Each task's
+   weight has already been forced to 1.0 (raw columns); the original
+   weights arrive through [new_entries]. *)
+let extend_tasks t (tasks : Shift_engine.task array) (new_entries : (float * int) array) =
+  if Array.length tasks > 0 then begin
     let t0 = Unix.gettimeofday () in
     let ms =
       match t.ms with
       | Some ms -> ms
       | None ->
-          let ms = Dss.multi_shift ~template:pts.(0).Sampling.s t.sys in
+          let ms = Dss.multi_shift ~template:tasks.(0).Shift_engine.point.Sampling.s t.sys in
           t.ms <- Some ms;
           ms
     in
-    (* weight 1.0 realifies to the raw columns: sqrt 1.0 *. x = x, bitwise *)
-    let tasks =
-      Array.map
-        (fun p ->
-          {
-            Shift_engine.point = { p with Sampling.weight = 1.0 };
-            rhs = t.rhs;
-            hermitian = false;
-          })
-        pts
-    in
     let block, st =
       Shift_engine.run ?workers:t.workers ~oversubscribe:t.oversubscribe ~ms t.sys tasks
-    in
-    let new_entries =
-      Array.map
-        (fun p ->
-          let cols = if Shift_engine.is_effectively_real p.Sampling.s then 1 else 2 in
-          (p.Sampling.weight, cols * t.inputs))
-        pts
     in
     let new_cols = Array.fold_left (fun acc (_, c) -> acc + c) 0 new_entries in
     assert (block.Mat.cols = new_cols);
@@ -185,6 +217,54 @@ let extend t (pts : Sampling.point array) =
     t.batches <- t.batches + 1;
     t.batch_wall <- (Unix.gettimeofday () -. t0) :: t.batch_wall
   end
+
+let cols_of_point rhs_cols (p : Sampling.point) =
+  (if Shift_engine.is_effectively_real p.Sampling.s then 1 else 2) * rhs_cols
+
+let extend t (pts : Sampling.point array) =
+  let rhs =
+    match t.rhs with
+    | Some rhs -> rhs
+    | None -> invalid_arg "Sample_cache.extend: Per_point cache needs extend_rhs"
+  in
+  (* weight 1.0 realifies to the raw columns: sqrt 1.0 *. x = x, bitwise *)
+  let tasks =
+    Array.map
+      (fun p ->
+        {
+          Shift_engine.point = { p with Sampling.weight = 1.0 };
+          rhs;
+          hermitian = t.hermitian;
+        })
+      pts
+  in
+  let new_entries =
+    Array.map (fun p -> (p.Sampling.weight, cols_of_point rhs.Mat.cols p)) pts
+  in
+  extend_tasks t tasks new_entries
+
+let extend_rhs t (pts_rhs : (Sampling.point * Mat.t) array) =
+  (match t.source with
+  | Per_point -> ()
+  | Controllability | Observability | Fixed_rhs _ ->
+      invalid_arg "Sample_cache.extend_rhs: cache source carries a fixed right-hand side");
+  Array.iter
+    (fun (_, (r : Mat.t)) ->
+      if r.Mat.rows <> t.n then
+        invalid_arg
+          (Printf.sprintf "Sample_cache.extend_rhs: rhs has %d rows for a %d-state system"
+             r.Mat.rows t.n))
+    pts_rhs;
+  let tasks =
+    Array.map
+      (fun (p, rhs) ->
+        { Shift_engine.point = { p with Sampling.weight = 1.0 }; rhs; hermitian = false })
+      pts_rhs
+  in
+  let new_entries =
+    Array.map (fun (p, (r : Mat.t)) -> (p.Sampling.weight, cols_of_point r.Mat.cols p)) pts_rhs
+  in
+  extend_tasks t tasks new_entries
 
 (* ------------------------------------------------------------------ *)
 (* Weighted assembly                                                   *)
@@ -234,3 +314,8 @@ let apply_q t (coeff : Mat.t) =
     done
   done;
   out
+
+let cross_q a b =
+  if a.n <> b.n then invalid_arg "Sample_cache.cross_q: state dimensions differ";
+  let ca = columns a and cb = columns b in
+  Mat.init ca cb (fun i j -> dot a.n a.q_cols.(i) b.q_cols.(j))

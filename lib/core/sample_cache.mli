@@ -1,20 +1,25 @@
-(** Incremental cache of sample columns for on-the-fly order control
-    (Section V-C).
+(** Incremental cache of sample columns — the shared pipeline layer under
+    every PMTBR variant (Sections V-C/V-D, VI).
 
-    Stores each consumed point's raw {e unweighted} realified columns
-    exactly once and applies quadrature weights — including the adaptive
-    prefix rescaling — as a per-column diagonal at assembly time, so
-    extending an adaptive run by a batch costs only the new shifts' solves
-    and rescaling an already-held prefix costs none.  One
-    {!Pmtbr_lti.Dss.multi_shift} handle (symbolic sparse-LU analysis) is
-    shared across all batches.
+    A cache is parameterised by the {e source} of its columns: plain
+    controllability samples [(sE - A)^{-1} B], adjoint observability
+    samples [(sE - A)^{-H} C^T], a fixed arbitrary right-hand side, or a
+    right-hand side per point.  Whatever the source, the cache stores each
+    consumed point's raw {e unweighted} realified columns exactly once and
+    applies quadrature weights — including the adaptive prefix rescaling —
+    as a per-column diagonal at assembly time, so extending an adaptive
+    run by a batch costs only the new shifts' solves and rescaling an
+    already-held prefix costs none.  One {!Pmtbr_lti.Dss.multi_shift}
+    handle (symbolic sparse-LU analysis) is shared across all batches, and
+    may be shared across caches (the two sides of a cross-Gramian run).
 
     A thin QR factorisation of the raw columns is maintained incrementally:
     with [ZW = Q R D] ([D] the diagonal of column weights), the singular
     values of the small {!small_factor} [R D] are those of the assembled
     [ZW], and [Q *] the left singular vectors of [R D] is its left singular
     basis — so per-batch order monitoring and the final basis never need an
-    SVD at the full state dimension.
+    SVD at the full state dimension.  {!cross_q} compresses two-cache
+    products (the sampled cross-Gramian pencil) to the column dimension.
 
     Everything held is a pure function of the point sequence consumed so
     far: extending in one batch or many, with any worker count, yields
@@ -22,6 +27,12 @@
 
 open Pmtbr_la
 open Pmtbr_lti
+
+type source =
+  | Controllability  (** [(sE - A)^{-1} B] — Algorithms 1-2 *)
+  | Observability  (** [(sE - A)^{-H} C^T] — cross-Gramian left side *)
+  | Fixed_rhs of Mat.t  (** [(sE - A)^{-1} rhs] — deterministic Algorithm 3 *)
+  | Per_point  (** [(sE - A)^{-1} rhs_k], one rhs per point via {!extend_rhs} *)
 
 type t
 
@@ -35,33 +46,60 @@ type stats = {
   batch_wall_s : float array;  (** wall seconds of each [extend], in order *)
 }
 
-val create : ?workers:int -> ?oversubscribe:bool -> Dss.t -> t
-(** Empty cache for the controllability-side samples [(s E - A)^{-1} B].
+val create :
+  ?workers:int -> ?oversubscribe:bool -> ?ms:Dss.multi_shift -> ?source:source -> Dss.t -> t
+(** Empty cache for the given sample [source] (default {!Controllability}).
     [workers] and [oversubscribe] configure the {!Shift_engine} pool used
-    by every {!extend}. *)
+    by every {!extend}.  [ms] supplies a pre-built multi-shift handle so
+    several caches (e.g. the right/left sides of a cross-Gramian run)
+    share one symbolic sparse-LU analysis; without it a handle is created
+    lazily from the first point consumed.  Raises [Invalid_argument] if a
+    {!Fixed_rhs} matrix does not have one row per state. *)
+
+val source : t -> source
+(** The sample source this cache was created with. *)
+
+val handle : t -> Dss.multi_shift option
+(** The multi-shift handle, once one exists (after the first extension, or
+    immediately when [?ms] was passed to {!create}) — pass it to sibling
+    caches to share the symbolic analysis. *)
 
 val extend : t -> Sampling.point array -> unit
 (** Append the given {e new} points: solve each shift once (through the
-    shared symbolic analysis), store its raw columns, and extend the thin
-    QR.  Points carry their original quadrature weights; prefix rescaling
-    belongs to assembly ([~scale]), not here.  An empty array is a no-op. *)
+    shared symbolic analysis, on the adjoint side for {!Observability}),
+    store its raw columns, and extend the thin QR.  Points carry their
+    original quadrature weights; prefix rescaling belongs to assembly
+    ([~scale]), not here.  An empty array is a no-op.  Raises
+    [Invalid_argument] on a {!Per_point} cache — use {!extend_rhs}. *)
+
+val extend_rhs : t -> (Sampling.point * Mat.t) array -> unit
+(** {!extend} for a {!Per_point} cache: each point arrives with its own
+    right-hand side (the input-correlated random draws).  Raises
+    [Invalid_argument] on a fixed-source cache or on a right-hand side
+    without one row per state. *)
 
 val points : t -> int
 (** Number of sample points held. *)
 
 val columns : t -> int
 (** Number of realified columns held (two per complex point and one per
-    real point, times the input count). *)
+    real point, times the right-hand-side column count). *)
 
 val stats : t -> stats
 (** Observability counters; [stats.solves = stats.points] certifies that
     no shift was ever re-solved. *)
 
+val merge_stats : stats -> stats -> stats
+(** Pointwise sum of two caches' counters (batch wall times concatenated)
+    — the combined record surfaced by two-sided variants (cross-Gramian).
+    [solves = points] is preserved: each side counts its own points. *)
+
 val assemble : t -> scale:float -> Mat.t
 (** The weighted sample matrix [ZW] of every held column, with each
     point's columns scaled by [sqrt (weight *. scale)] — bitwise-identical
-    to [Zmat.build] over the same points with weights multiplied by
-    [scale].  Raises [Invalid_argument] on an empty cache. *)
+    to the corresponding {!Zmat} builder ([build], [build_left],
+    [build_rhs] or [build_per_point]) over the same points with weights
+    multiplied by [scale].  Raises [Invalid_argument] on an empty cache. *)
 
 val small_factor : t -> scale:float -> Mat.t
 (** The upper-triangular [R D] ([columns x columns]) with
@@ -73,3 +111,10 @@ val apply_q : t -> Mat.t -> Mat.t
 (** [apply_q t coeff] is [Q * coeff] for a [columns x k] coefficient
     matrix — used to lift singular vectors of {!small_factor} back to
     state-space columns. *)
+
+val cross_q : t -> t -> Mat.t
+(** [cross_q a b] is the small Gram matrix [Q_a^T Q_b]
+    ([columns a x columns b]) — with the two {!small_factor}s it
+    compresses products such as the sampled cross-Gramian
+    [Z^R (Z^L)^T] to the column dimension.  Raises [Invalid_argument] if
+    the caches' state dimensions differ. *)

@@ -19,30 +19,48 @@ type result = {
 }
 
 (* [reduce sys ~u ~t1 ~dt ~snapshots] simulates from rest with the training
-   input [u] over [0, t1], keeps [snapshots] equispaced state snapshots,
-   and projects onto their dominant left singular subspace. *)
+   input [u] over [0, t1], keeps [snapshots] equispaced state snapshots —
+   always including the initial and final states — and projects onto their
+   dominant left singular subspace. *)
 let reduce ?order ?tol sys ~(u : float -> float array) ~t1 ~dt ~snapshots =
-  assert (snapshots >= 2);
+  if snapshots < 2 then invalid_arg "Time_sampled.reduce: snapshots must be >= 2";
+  if not (t1 > 0.0 && dt > 0.0 && dt <= t1) then
+    invalid_arg "Time_sampled.reduce: need 0 < dt <= t1";
   let res = Tdsim.simulate ~keep_states:true sys ~t0:0.0 ~t1 ~dt ~u in
   let states =
     match res.Tdsim.states with
     | Some s -> s
-    | None -> assert false
+    | None -> assert false (* keep_states:true always yields states *)
   in
   let steps = Array.length res.Tdsim.times in
-  let stride = max 1 (steps / snapshots) in
-  let cols = ref [] in
-  let k = ref (steps - 1) in
-  while !k >= 0 do
-    cols := Mat.col states !k :: !cols;
-    k := !k - stride
+  (* exactly [snapshots] strictly increasing step indices over [0, steps-1]
+     (the old backwards stride walk could keep more or fewer than requested
+     and skip the t=0 state), clamped when the run has fewer steps.  The
+     indices follow a quadratic ramp clustered towards t=0: a training
+     simulation from rest spends its fast modes in the first few steps, and
+     an equispaced grid at typical snapshot counts skips straight over
+     them, losing the very directions that dominate the transient. *)
+  let m = min snapshots steps in
+  let idx = Array.make m 0 in
+  for j = 1 to m - 1 do
+    let frac = float_of_int j /. float_of_int (m - 1) in
+    let raw = int_of_float (Float.round (frac *. frac *. float_of_int (steps - 1))) in
+    idx.(j) <- max (idx.(j - 1) + 1) (min raw (steps - 1))
   done;
-  let cols = Array.of_list !cols in
   let n = Dss.order sys in
-  (* snapshot matrix weighted by sqrt(dt_snapshot): a quadrature view of
-     the empirical covariance integral *)
-  let w = sqrt (dt *. float_of_int stride) in
-  let x = Mat.init n (Array.length cols) (fun i j -> w *. cols.(j).(i)) in
+  (* columns weighted by sqrt of the local time interval (trapezoid rule),
+     so X X^T is a quadrature estimate of the covariance integral
+     \int x x^T dt with the non-uniform spacing accounted for *)
+  let w =
+    Array.init m (fun j ->
+        let lo = if j = 0 then float_of_int idx.(0) else float_of_int (idx.(j - 1) + idx.(j)) /. 2.0 in
+        let hi =
+          if j = m - 1 then float_of_int idx.(m - 1)
+          else float_of_int (idx.(j) + idx.(j + 1)) /. 2.0
+        in
+        sqrt (dt *. (hi -. lo)))
+  in
+  let x = Mat.init n m (fun i j -> w.(j) *. Mat.get states i idx.(j)) in
   let { Svd.u = uu; sigma; _ } = Svd.decompose x in
   let q = Pmtbr.choose_order ~sigma ?order ?tol () in
   let q =
@@ -51,9 +69,4 @@ let reduce ?order ?tol sys ~(u : float -> float array) ~t1 ~dt ~snapshots =
     cap q
   in
   let basis = Mat.sub_cols uu 0 q in
-  {
-    rom = Dss.project_congruence sys basis;
-    basis;
-    singular_values = sigma;
-    snapshots = Array.length cols;
-  }
+  { rom = Dss.project_congruence sys basis; basis; singular_values = sigma; snapshots = m }

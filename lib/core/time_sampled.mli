@@ -18,5 +18,13 @@ type result = {
 val reduce : ?order:int -> ?tol:float -> Dss.t -> u:(float -> float array) -> t1:float ->
   dt:float -> snapshots:int -> result
 (** Simulate from rest with the training input over [0, t1] at step [dt],
-    keep about [snapshots] equispaced state snapshots, and project onto
-    their dominant left singular subspace. *)
+    keep exactly [snapshots] state snapshots — always including the initial
+    and final states, clamped to the step count when the run is shorter —
+    and project onto their dominant left singular subspace.  Snapshots
+    follow a quadratic ramp clustered towards t=0 (where the fast modes of
+    a from-rest transient live), with each column weighted by the square
+    root of its local time interval so that the SVD estimates the
+    covariance integral under the non-uniform spacing.
+    [result.snapshots] reports the count actually kept.  Raises
+    [Invalid_argument] on [snapshots < 2] or a non-positive / oversized
+    time step. *)

@@ -10,11 +10,14 @@
    The heavy lifting — shifted solves with one shared symbolic analysis,
    optionally over a domain pool — lives in [Shift_engine]; this module
    keeps the historical entry points (plus [?workers]) and the legacy
-   one-shot per-point path used as the benchmark baseline.  The adaptive
-   order-control loops do not rebuild through here: they extend a
-   [Sample_cache] batch by batch (each shift solved once, weights applied
-   at assembly), whose [assemble] is bitwise-identical to [build] over the
-   same weighted points. *)
+   one-shot per-point path used as the benchmark baseline.  The reduction
+   pipelines themselves no longer build through here: every variant runs
+   its source through a [Sample_cache] ([build] = Controllability,
+   [build_left] = Observability, [build_rhs] = Fixed_rhs,
+   [build_per_point] = Per_point), each shift solved once with weights
+   applied at assembly.  The builders below are retained as the one-shot
+   reference paths the cache sources are property-tested
+   bitwise-identical against. *)
 
 open Pmtbr_la
 open Pmtbr_lti

@@ -10,7 +10,12 @@
     All [build*] functions run through {!Shift_engine}: one shared
     symbolic factorisation analysis, shifts distributed over [?workers]
     domains (default {!Shift_engine.default_workers}), results identical
-    for every worker count. *)
+    for every worker count.
+
+    The reduction pipelines run their samples through {!Sample_cache}
+    sources instead (one cache source per builder below); these one-shot
+    builders are retained as the reference paths the cache sources are
+    property-tested bitwise-identical against. *)
 
 open Pmtbr_la
 open Pmtbr_lti
