@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-adaptive bench-variants clean
+.PHONY: all build test check bench bench-adaptive bench-variants bench-dense clean
 
 all: build
 
@@ -26,6 +26,13 @@ bench-adaptive:
 # disagree, or any cached variant loses batch/worker determinism)
 bench-variants:
 	dune exec bench/variants_bench.exe
+
+# regenerate BENCH_dense.json (fails if the kernel-layer SVD drops below
+# 2x over the serial cyclic Jacobi on the 1089-state sample matrix, any
+# dense kernel loses bitwise worker-invariance, or the round-robin
+# singular values drift past 1e-12 relative of the cyclic reference)
+bench-dense:
+	dune exec bench/dense_bench.exe
 
 clean:
 	dune clean

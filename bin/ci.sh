@@ -20,4 +20,7 @@ OCAMLRUNPARAM=b dune exec bench/adaptive_bench.exe -- --smoke
 echo "== variant-pipeline smoke bench (cross-Gramian pencil + variant determinism)"
 OCAMLRUNPARAM=b dune exec bench/variants_bench.exe -- --smoke
 
+echo "== dense-kernel smoke bench (GEMM/QR bitwise worker-invariance + Jacobi sigma drift)"
+OCAMLRUNPARAM=b dune exec bench/dense_bench.exe -- --smoke
+
 echo "CI OK"

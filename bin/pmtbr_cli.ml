@@ -120,11 +120,17 @@ let workers_arg =
     & info [ "j"; "workers" ]
         ~docv:"W"
         ~doc:
-          "Worker domains for the parallel multi-shift sampling engine (0 = one per \
-           recommended core).  Any value produces bitwise-identical results.")
+          "Worker domains for both stages of a run: the parallel multi-shift sampling engine \
+           and the dense reduction kernels (SVD/QR/GEMM in Pmtbr_la.Par_kernel).  0 = one per \
+           recommended core.  Any value produces bitwise-identical results.")
 
-(* 0 = auto (engine default); the engine treats values < 1 the same way *)
-let workers_opt w = if w >= 1 then Some w else None
+(* 0 = auto (engine default); the engine treats values < 1 the same way.
+   Also installs the same pool size as the dense-kernel default, so one
+   flag covers the solve stage and the reduction stage. *)
+let workers_opt w =
+  let w = if w >= 1 then Some w else None in
+  Par_kernel.set_default_workers w;
+  w
 
 let band_arg =
   let parse s =

@@ -114,7 +114,7 @@ let reduce ?order ?tol ?workers sys (pts : Sampling.point array) =
 
    at dimension [r], with no spectrum truncated beyond the rank cut.
    Returns the small pencil and the lift [W]. *)
-let pencil ~right ~left ~scale =
+let pencil ?workers ~right ~left ~scale () =
   let sr = Sample_cache.small_factor right ~scale in
   let sl = Sample_cache.small_factor left ~scale in
   if sr.Mat.cols <> sl.Mat.cols then
@@ -122,13 +122,16 @@ let pencil ~right ~left ~scale =
       (Printf.sprintf
          "Cross_gramian: %d right columns vs %d left columns (system has inputs <> outputs?)"
          sr.Mat.cols sl.Mat.cols);
-  let w = Qr.orth sr in
-  let gw = Mat.mul (Sample_cache.cross_q left right) w in
-  let p = Mat.mul (Mat.transpose w) (Mat.mul sr (Mat.mul (Mat.transpose sl) gw)) in
+  let w = Qr.orth ?workers sr in
+  let gw = Par_kernel.mul ?workers (Sample_cache.cross_q left right) w in
+  let p =
+    Par_kernel.mul ?workers (Mat.transpose w)
+      (Par_kernel.mul ?workers sr (Par_kernel.mul ?workers (Mat.transpose sl) gw))
+  in
   (p, w)
 
-let of_caches ?order ?(tol = 1e-8) sys ~right ~left ~scale ~samples =
-  let p, w = pencil ~right ~left ~scale in
+let of_caches ?order ?(tol = 1e-8) ?workers sys ~right ~left ~scale ~samples =
+  let p, w = pencil ?workers ~right ~left ~scale () in
   let schur = Cschur.of_real p in
   let evs = Cschur.eigenvalues schur in
   let order_idx, q_model = select ?order ~tol evs in
@@ -136,7 +139,7 @@ let of_caches ?order ?(tol = 1e-8) sys ~right ~left ~scale ~samples =
   (* Q_R W is orthonormal up to roundoff, so one thin QR of the lifted
      n x q block — q the model order, not the sample column count —
      restores orthonormality cheaply. *)
-  let basis = Qr.orth (Sample_cache.apply_q right (Mat.mul w coeff)) in
+  let basis = Qr.orth ?workers (Sample_cache.apply_q right (Par_kernel.mul ?workers w coeff)) in
   let evs_sorted = Array.map (fun i -> evs.(i)) order_idx in
   { rom = Dss.project_congruence sys basis; basis; eigenvalues = evs_sorted; samples }
 
@@ -155,7 +158,9 @@ let reduce_cached_stats ?order ?tol ?workers sys (pts : Sampling.point array) =
   let right, left = make_caches ?workers sys pts.(0) in
   Sample_cache.extend right pts;
   Sample_cache.extend left pts;
-  let result = of_caches ?order ?tol sys ~right ~left ~scale:1.0 ~samples:(Array.length pts) in
+  let result =
+    of_caches ?order ?tol ?workers sys ~right ~left ~scale:1.0 ~samples:(Array.length pts)
+  in
   (result, merged_stats right left)
 
 let reduce_cached ?order ?tol ?workers sys pts =
@@ -175,7 +180,7 @@ let reduce_adaptive_stats ?order ?(tol = 1e-8) ?(batch = 8) ?(converge_tol = 0.0
   let right, left = make_caches ?workers sys pts.(0) in
   let finish upto =
     let scale = float_of_int n_pts /. float_of_int upto in
-    let result = of_caches ?order ~tol sys ~right ~left ~scale ~samples:upto in
+    let result = of_caches ?order ~tol ?workers sys ~right ~left ~scale ~samples:upto in
     (result, merged_stats right left)
   in
   let rec loop consumed prev =
@@ -188,7 +193,7 @@ let reduce_adaptive_stats ?order ?(tol = 1e-8) ?(batch = 8) ?(converge_tol = 0.0
        with the sample count; it is a diagonal at assembly, no re-solve *)
     let scale = float_of_int n_pts /. float_of_int upto in
     let mags =
-      let p, _ = pencil ~right ~left ~scale in
+      let p, _ = pencil ?workers ~right ~left ~scale () in
       let m = Array.map Complex.norm (Cschur.eigenvalues (Cschur.of_real p)) in
       Array.sort (fun a b -> compare b a) m;
       m

@@ -60,8 +60,8 @@ val make_caches :
     extend the sides themselves before {!of_caches}. *)
 
 val of_caches :
-  ?order:int -> ?tol:float -> Dss.t -> right:Sample_cache.t -> left:Sample_cache.t ->
-  scale:float -> samples:int -> result
+  ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> right:Sample_cache.t ->
+  left:Sample_cache.t -> scale:float -> samples:int -> result
 (** The compressed-pencil pipeline from two pre-extended caches (a
     {!Sample_cache.Controllability} right side and a
     {!Sample_cache.Observability} left side over the same points); exposed

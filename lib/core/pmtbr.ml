@@ -47,8 +47,8 @@ let choose_order ~(sigma : float array) ?order ?tol () =
     | None, _ -> from_tol (Option.value tol ~default:1e-10)
   end
 
-let of_basis sys ~(zw : Mat.t) ?order ?tol ~samples () =
-  let { Svd.u; sigma; _ } = Svd.decompose zw in
+let of_basis sys ~(zw : Mat.t) ?order ?tol ?workers ~samples () =
+  let { Svd.u; sigma; _ } = Svd.decompose ?workers zw in
   let q = choose_order ~sigma ?order ?tol () in
   (* never keep directions below numerical noise *)
   let q =
@@ -64,7 +64,7 @@ let of_basis sys ~(zw : Mat.t) ?order ?tol ~samples () =
    any worker count). *)
 let reduce ?order ?tol ?workers sys (pts : Sampling.point array) =
   let zw = Zmat.build ?workers sys pts in
-  of_basis sys ~zw ?order ?tol ~samples:(Array.length pts) ()
+  of_basis sys ~zw ?order ?tol ?workers ~samples:(Array.length pts) ()
 
 (* Convenience: uniform sampling of [0, w_max]. *)
 let reduce_uniform ?order ?tol ?workers sys ~w_max ~count =
@@ -83,7 +83,7 @@ let reduce_uniform ?order ?tol ?workers sys ~w_max ~count =
    rescaled, so only the profile d_i / d_0 converges. *)
 type monitor = Monitor_svd | Monitor_rrqr
 
-let monitor_values cache ~monitor ~scale =
+let monitor_values ?workers cache ~monitor ~scale =
   let small = Sample_cache.small_factor cache ~scale in
   match monitor with
   | Monitor_svd ->
@@ -92,7 +92,7 @@ let monitor_values cache ~monitor ~scale =
          looser sweep threshold is what keeps the per-batch monitor cheap
          next to the solves.  The final decomposition stays full-precision
          in [result_of_cache]. *)
-      Svd.values ~threshold:1e-10 small
+      Svd.values ?workers ~threshold:1e-10 small
   | Monitor_rrqr ->
       let { Qr.r; rank; _ } = Qr.pivoted ~tol:1e-15 small in
       let d = Array.init rank (fun i -> Float.abs (Mat.get r i i)) in
@@ -105,8 +105,8 @@ let monitor_values cache ~monitor ~scale =
    state-dimension SVD per batch.  Exposed as [of_cache]: every
    cache-based variant (frequency-selective, input-correlated) finishes
    through here. *)
-let of_cache sys cache ~scale ?order ?tol ~samples () =
-  let { Svd.u; sigma; _ } = Svd.decompose (Sample_cache.small_factor cache ~scale) in
+let of_cache sys cache ~scale ?order ?tol ?workers ~samples () =
+  let { Svd.u; sigma; _ } = Svd.decompose ?workers (Sample_cache.small_factor cache ~scale) in
   let q = choose_order ~sigma ?order ?tol () in
   (* never keep directions below numerical noise *)
   let q =
@@ -125,7 +125,7 @@ let reduce_stats ?order ?tol ?workers sys (pts : Sampling.point array) =
   if Array.length pts = 0 then invalid_arg "Pmtbr.reduce_stats: no sample points";
   let cache = Sample_cache.create ?workers sys in
   Sample_cache.extend cache pts;
-  let r = of_cache sys cache ~scale:1.0 ?order ?tol ~samples:(Array.length pts) () in
+  let r = of_cache sys cache ~scale:1.0 ?order ?tol ?workers ~samples:(Array.length pts) () in
   (r, Sample_cache.stats cache)
 
 (* The adaptive loop shared by both monitors: consume the point sequence
@@ -168,7 +168,7 @@ let adaptive_loop ~monitor ~rebuild ~default_converge ?order ?tol ?(batch = 8) ?
   in
   let finish upto =
     let scale = float_of_int n_pts /. float_of_int upto in
-    let result = of_cache sys !cache ~scale ?order ?tol ~samples:upto () in
+    let result = of_cache sys !cache ~scale ?order ?tol ?workers ~samples:upto () in
     let st = Sample_cache.stats !cache in
     ( result,
       {
@@ -194,7 +194,7 @@ let adaptive_loop ~monitor ~rebuild ~default_converge ?order ?tol ?(batch = 8) ?
       Sample_cache.extend !cache (Array.sub pts 0 upto)
     end
     else Sample_cache.extend !cache (Array.sub pts consumed (upto - consumed));
-    let sigma = monitor_values !cache ~monitor ~scale in
+    let sigma = monitor_values ?workers !cache ~monitor ~scale in
     let q = choose_order ~sigma ?order ?tol () in
     let leading_converged =
       match prev with
@@ -252,7 +252,7 @@ let reduce_adaptive_rrqr ?order ?tol ?batch ?converge_tol ?workers sys pts =
   fst (reduce_adaptive_rrqr_stats ?order ?tol ?batch ?converge_tol ?workers sys pts)
 
 (* Singular values of the ZW matrix only (Figs. 5 and 8). *)
-let sample_singular_values ?workers sys pts = Svd.values (Zmat.build ?workers sys pts)
+let sample_singular_values ?workers sys pts = Svd.values ?workers (Zmat.build ?workers sys pts)
 
 (* Hankel-singular-value estimates.  The sampled Gramian is
    X^ = (1/pi) (ZW)(ZW)^T (the 1/2pi of the inverse Fourier transform and

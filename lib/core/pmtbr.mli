@@ -23,13 +23,16 @@ val choose_order : sigma:float array -> ?order:int -> ?tol:float -> unit -> int
     only when [tol] is {e also} given does the tail criterion cap it — the
     default tolerance never shrinks an explicitly requested order. *)
 
-val of_basis : Dss.t -> zw:Mat.t -> ?order:int -> ?tol:float -> samples:int -> unit -> result
+val of_basis :
+  Dss.t -> zw:Mat.t -> ?order:int -> ?tol:float -> ?workers:int -> samples:int -> unit -> result
 (** Reduce with an externally assembled sample matrix (used by the variant
-    algorithms). *)
+    algorithms).  [workers] sizes the dense-kernel pool of the reduction
+    stage ({!Pmtbr_la.Par_kernel}); results are bitwise-identical for any
+    value. *)
 
 val of_cache :
-  Dss.t -> Sample_cache.t -> scale:float -> ?order:int -> ?tol:float -> samples:int -> unit ->
-  result
+  Dss.t -> Sample_cache.t -> scale:float -> ?order:int -> ?tol:float -> ?workers:int ->
+  samples:int -> unit -> result
 (** Reduce from a {!Sample_cache}'s thin factorisation: the SVD of the
     small [R D] supplies the singular values and [Q U_small] the basis —
     no state-dimension SVD.  [scale] is the prefix rescaling passed to
@@ -37,9 +40,10 @@ val of_cache :
     input-correlated) finish through here. *)
 
 val reduce : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> Sampling.point array -> result
-(** One-shot PMTBR with a fixed point set.  [workers] sizes the
-    shifted-solve domain pool of {!Shift_engine} (default: all recommended
-    domains); the result is bitwise-independent of the worker count. *)
+(** One-shot PMTBR with a fixed point set.  [workers] sizes both the
+    shifted-solve domain pool of {!Shift_engine} and the dense-kernel pool
+    of the reduction stage (default: all recommended domains); the result
+    is bitwise-independent of the worker count. *)
 
 val reduce_uniform : ?order:int -> ?tol:float -> ?workers:int -> Dss.t -> w_max:float ->
   count:int -> result

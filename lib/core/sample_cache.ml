@@ -147,18 +147,16 @@ let merge_stats (a : stats) (b : stats) : stats =
 (* Incremental thin QR                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let dot n (a : float array) (b : float array) =
-  let acc = ref 0.0 in
-  for i = 0 to n - 1 do
-    acc := !acc +. (a.(i) *. b.(i))
-  done;
-  !acc
-
 (* Orthogonalise one new raw column against the held Q columns
    (Gram-Schmidt, two passes — "twice is enough" keeps Q orthonormal to
    roundoff), yielding its Q column and R column.  Strictly sequential in
    column order, so replaying the same columns in the same order — in one
-   batch or many — produces bitwise-identical factors. *)
+   batch or many — produces bitwise-identical factors.  The level-1 work
+   inside each column step runs on the [Par_kernel] blocked kernels: the
+   projections use the fixed-blocking dot, and the subtraction — a
+   single independent operation per row — is sliced over row ranges.
+   Neither depends on the worker count, so the per-column (and hence
+   per-batch) determinism contract is untouched. *)
 let orthogonalise t (raw_col : float array) =
   let n = t.n in
   let j = columns t in
@@ -167,14 +165,15 @@ let orthogonalise t (raw_col : float array) =
   for _pass = 1 to 2 do
     for i = 0 to j - 1 do
       let qi = t.q_cols.(i) in
-      let h = dot n qi v in
+      let h = Par_kernel.dot qi v in
       rj.(i) <- rj.(i) +. h;
-      for k = 0 to n - 1 do
-        v.(k) <- v.(k) -. (h *. qi.(k))
-      done
+      Par_kernel.parallel_ranges ?workers:t.workers ~work:(2 * n) n (fun lo hi ->
+          for k = lo to hi - 1 do
+            v.(k) <- v.(k) -. (h *. qi.(k))
+          done)
     done
   done;
-  let rho = sqrt (dot n v v) in
+  let rho = sqrt (Par_kernel.dot v v) in
   rj.(j) <- rho;
   let qj = if rho > 0.0 then Array.map (fun x -> x /. rho) v else Array.make n 0.0 in
   (qj, rj)
@@ -290,7 +289,16 @@ let assemble t ~scale =
   let c = columns t in
   if c = 0 then invalid_arg "Sample_cache.assemble: empty cache";
   let cw = col_weights t ~scale in
-  Mat.init t.n c (fun i j -> cw.(j) *. t.raw.(j).(i))
+  let out = Mat.create t.n c in
+  (* each element is written exactly once: row slices are worker-invariant *)
+  Par_kernel.parallel_ranges ?workers:t.workers ~work:(t.n * c) t.n (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * c in
+        for j = 0 to c - 1 do
+          out.Mat.data.(base + j) <- cw.(j) *. t.raw.(j).(i)
+        done
+      done);
+  out
 
 let small_factor t ~scale =
   let c = columns t in
@@ -301,21 +309,32 @@ let small_factor t ~scale =
 let apply_q t (coeff : Mat.t) =
   let c = columns t in
   if coeff.Mat.rows <> c then invalid_arg "Sample_cache.apply_q: row count mismatch";
-  let out = Mat.create t.n coeff.Mat.cols in
-  for j = 0 to c - 1 do
-    let qj = t.q_cols.(j) in
-    for k = 0 to coeff.Mat.cols - 1 do
-      let w = Mat.get coeff j k in
-      if w <> 0.0 then
-        for i = 0 to t.n - 1 do
-          out.Mat.data.((i * out.Mat.cols) + k) <-
-            out.Mat.data.((i * out.Mat.cols) + k) +. (w *. qj.(i))
+  let p = coeff.Mat.cols in
+  let out = Mat.create t.n p in
+  (* sliced over output rows; every out(i, k) still accumulates over the
+     cache columns j in ascending order, so the result is bitwise the
+     same for any worker count *)
+  Par_kernel.parallel_ranges ?workers:t.workers ~work:(2 * t.n * c * p) t.n (fun lo hi ->
+      for j = 0 to c - 1 do
+        let qj = t.q_cols.(j) in
+        for k = 0 to p - 1 do
+          let w = Mat.get coeff j k in
+          if w <> 0.0 then
+            for i = lo to hi - 1 do
+              out.Mat.data.((i * p) + k) <- out.Mat.data.((i * p) + k) +. (w *. qj.(i))
+            done
         done
-    done
-  done;
+      done);
   out
 
 let cross_q a b =
   if a.n <> b.n then invalid_arg "Sample_cache.cross_q: state dimensions differ";
   let ca = columns a and cb = columns b in
-  Mat.init ca cb (fun i j -> dot a.n a.q_cols.(i) b.q_cols.(j))
+  let out = Mat.create ca cb in
+  Par_kernel.parallel_ranges ?workers:a.workers ~work:(2 * ca * cb * a.n) ca (fun lo hi ->
+      for i = lo to hi - 1 do
+        for j = 0 to cb - 1 do
+          Mat.set out i j (Par_kernel.dot a.q_cols.(i) b.q_cols.(j))
+        done
+      done);
+  out

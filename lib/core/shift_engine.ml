@@ -36,8 +36,10 @@ type stats = {
 
 let default_workers () = Domain.recommended_domain_count ()
 
+(* Degenerate runs (no tasks, or a wall clock too fast to resolve) have
+   no meaningful busy fraction; report 0 rather than dividing by zero. *)
 let utilisation st =
-  if st.wall_s <= 0.0 || Array.length st.busy_s = 0 then 1.0
+  if st.wall_s <= 0.0 || Array.length st.busy_s = 0 then 0.0
   else
     Array.fold_left ( +. ) 0.0 st.busy_s /. (st.wall_s *. float_of_int (Array.length st.busy_s))
 

@@ -34,7 +34,8 @@ val default_workers : unit -> int
 
 val utilisation : stats -> float
 (** Mean worker utilisation in [0, 1]: total busy time over
-    [workers * wall]. *)
+    [workers * wall].  A degenerate run — zero wall clock or no workers —
+    reports [0.]. *)
 
 val run :
   ?workers:int ->

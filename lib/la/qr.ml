@@ -1,14 +1,27 @@
 (* Householder QR factorisations of dense real matrices.
 
    [thin a] returns Q (m×n, orthonormal columns) and R (n×n upper triangular)
-   with a = Q R, for m >= n.  [orth] additionally drops columns whose R
+   with a = Q R, for m >= n; it runs on the panel-blocked factorisation in
+   [Par_kernel], which is bitwise-identical to the classic unblocked sweep
+   (kept here as [thin_reference]) for any worker count.  [factorize]
+   exposes the packed reflectors directly: [apply_q]/[apply_qt] multiply by
+   Q or Q^T without ever materialising the m×n factor, which is cheaper
+   whenever the product is consumed once.  [orth] drops columns whose R
    diagonal is negligible, returning an orthonormal basis of the column
    space.  [pivoted] is the rank-revealing column-pivoted variant used for
-   cheap rank estimates (RRQR in the paper's Section V-C discussion). *)
+   cheap rank estimates (RRQR in the paper's Section V-C discussion); its
+   elimination is inherently sequential (each pivot choice depends on the
+   previous downdates), so it stays serial — it also serves as the dense
+   baseline the variant benchmarks gate against.  [pivoted_factor] runs
+   the same elimination but returns the packed factor, for callers that
+   only ever apply Q. *)
 
 type pivoted = { q : Mat.t; r : Mat.t; jpvt : int array; rank : int }
+type packed = Par_kernel.qr
 
-(* In-place Householder on a copy; returns packed reflectors + R. *)
+(* In-place Householder on a copy; returns packed reflectors + R.  The
+   unblocked serial reference the blocked [Par_kernel.qr_factor] is
+   property-tested against. *)
 let householder_factor (a : Mat.t) =
   let m = a.Mat.rows and n = a.Mat.cols in
   let w = Mat.copy a in
@@ -79,7 +92,7 @@ let form_thin_q w betas n =
   done;
   q
 
-let thin (a : Mat.t) =
+let thin_reference (a : Mat.t) =
   let m = a.Mat.rows and n = a.Mat.cols in
   assert (m >= n);
   let w, betas = householder_factor a in
@@ -87,7 +100,30 @@ let thin (a : Mat.t) =
   let q = form_thin_q w betas n in
   (q, r)
 
-let pivoted ?(tol = 1e-12) (a : Mat.t) =
+(* ------------------------------------------------------------------ *)
+(* Packed-factor interface (blocked kernels)                           *)
+(* ------------------------------------------------------------------ *)
+
+let factorize ?workers a = Par_kernel.qr_factor ?workers a
+let r_factor (f : packed) = Par_kernel.qr_r f
+let thin_q ?workers ?cols (f : packed) = Par_kernel.qr_thin_q ?workers ?cols f
+let apply_q ?workers (f : packed) x = Par_kernel.qr_apply_q ?workers f x
+let apply_qt ?workers (f : packed) x = Par_kernel.qr_apply_qt ?workers f x
+let apply_qt_vec (f : packed) x = Par_kernel.qr_apply_qt_vec f x
+
+let thin ?workers (a : Mat.t) =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  assert (m >= n);
+  let f = factorize ?workers a in
+  (thin_q ?workers f, r_factor f)
+
+(* ------------------------------------------------------------------ *)
+(* Column-pivoted (rank-revealing) elimination                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared elimination core: packed reflectors of the permuted matrix, the
+   permutation, and the detected rank. *)
+let pivoted_elim ~tol (a : Mat.t) =
   let m = a.Mat.rows and n = a.Mat.cols in
   let w = Mat.copy a in
   let jpvt = Array.init n (fun j -> j) in
@@ -163,13 +199,25 @@ let pivoted ?(tol = 1e-12) (a : Mat.t) =
        done
      done
    with Exit -> ());
+  (w, betas, jpvt, !rank)
+
+let pivoted ?(tol = 1e-12) (a : Mat.t) =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let w, betas, jpvt, rank = pivoted_elim ~tol a in
+  let kmax = min m n in
   let r = Mat.init n n (fun i j -> if i <= j && i < kmax then Mat.get w i j else 0.0) in
-  let q = form_thin_q w betas (min m n) in
-  { q; r; jpvt; rank = !rank }
+  let q = form_thin_q w betas kmax in
+  { q; r; jpvt; rank }
+
+let pivoted_factor ?(tol = 1e-12) (a : Mat.t) =
+  let w, betas, jpvt, rank = pivoted_elim ~tol a in
+  ({ Par_kernel.wf = w; betas }, jpvt, rank)
 
 (* Orthonormal basis of the column space via column-pivoted QR; handles
    rank-deficient and wide matrices.  A numerically zero input yields a
-   basis with zero columns. *)
-let orth ?(tol = 1e-12) (a : Mat.t) =
-  let { q; rank; _ } = pivoted ~tol a in
-  Mat.sub_cols q 0 (min rank q.Mat.cols)
+   basis with zero columns.  Only the [rank] retained columns of Q are
+   ever formed — each is the same backward reflector accumulation the
+   full [pivoted] would produce, bit for bit. *)
+let orth ?(tol = 1e-12) ?workers (a : Mat.t) =
+  let f, _, rank = pivoted_factor ~tol a in
+  Par_kernel.qr_thin_q ?workers ~cols:(min rank (min a.Mat.rows a.Mat.cols)) f

@@ -1,16 +1,24 @@
 (* Principal angles between column subspaces (Bjorck-Golub): the cosines are
    the singular values of Q1^T Q2 for orthonormal bases Q1, Q2.  Used to
    measure convergence of PMTBR projection subspaces to the exact dominant
-   eigenspaces (paper Fig. 6). *)
+   eigenspaces (paper Fig. 6).
+
+   Only one of the two bases is ever materialised: the other stays a packed
+   Householder factor ([Qr.pivoted_factor]) and the cross product Q1^T Q2
+   comes from [Qr.apply_qt] on the reflectors — multiplying by Q^T once is
+   cheaper than forming the thin Q just to transpose-multiply it away. *)
 
 let clamp x = Float.min 1.0 (Float.max (-1.0) x)
 
 (* Principal angles (radians, ascending) between col spaces of a and b. *)
 let principal_angles (a : Mat.t) (b : Mat.t) =
-  let qa = Qr.orth a and qb = Qr.orth b in
-  let m = Mat.mul (Mat.transpose qa) qb in
+  let fa, _, rank_a = Qr.pivoted_factor a in
+  let qb = Qr.orth b in
+  let rank_b = qb.Mat.cols in
+  (* rows 0 .. rank_a - 1 of Q_a^T Q_b, without forming Q_a *)
+  let m = Mat.sub_matrix (Qr.apply_qt fa qb) ~row:0 ~col:0 ~rows:rank_a ~cols:rank_b in
   let s = Svd.values m in
-  let k = min (Array.length s) (min qa.Mat.cols qb.Mat.cols) in
+  let k = min (Array.length s) (min m.Mat.rows rank_b) in
   Array.init k (fun i -> Float.acos (clamp s.(i)))
 
 (* Largest principal angle: 0 when one space contains the other. *)
@@ -19,10 +27,12 @@ let max_angle a b =
   Array.fold_left Float.max 0.0 angles
 
 (* Angle between a single vector and a subspace: the angle between the
-   vector and its orthogonal projection onto the subspace. *)
+   vector and its orthogonal projection onto the subspace.  The projection
+   coefficients are the leading [rank] entries of Q^T x on the packed
+   factor — no thin Q is ever formed. *)
 let vector_to_subspace_angle (x : float array) (basis : Mat.t) =
-  let q = Qr.orth basis in
+  let f, _, rank = Qr.pivoted_factor basis in
   let xn = Vec.normalize x in
-  let coeffs = Mat.mv_transposed q xn in
+  let coeffs = Array.sub (Qr.apply_qt_vec f xn) 0 rank in
   let proj_norm = Vec.norm2 coeffs in
   Float.acos (clamp proj_norm)

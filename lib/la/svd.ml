@@ -6,10 +6,28 @@
 
    The working matrix lives as one unboxed float array per column: every
    Jacobi rotation touches exactly two columns, so the column layout turns
-   the inner loops into contiguous unsafe array walks.  The rotations sweep
-   the same fixed cyclic (p, q) order and accumulate the same three dot
-   products in the same element order as the textbook row-major version, so
-   the storage change does not move a single bit of the result.
+   the inner loops into contiguous unsafe array walks.
+
+   Two rotation orders are implemented:
+
+   - the serial cyclic sweep ([decompose_cyclic] / [values_cyclic]), kept
+     as the reference implementation;
+
+   - the round-robin (tournament) schedule in [Par_kernel.jacobi_rounds],
+     whose rounds rotate disjoint column pairs and therefore parallelise
+     with bitwise worker-invariance.  [decompose] / [values] run on it.
+     The two orders apply the identical rotation arithmetic to the same
+     pairs, only in a different sequence, so their singular values agree
+     to the sweep threshold's relative accuracy (tests pin 1e-12).
+
+   On very tall blocks — the PMTBR sample shape, n states x tens-to-
+   hundreds of columns — [decompose]/[values] first shrink the problem
+   with a blocked QR and run the rotations on the small triangular factor
+   (the xGESVJ-style QR preconditioning step): sweeps then cost O(c^3)
+   instead of O(n c^2), which is where most of the reduction-stage
+   speedup over the cyclic reference comes from.  The preconditioning
+   only engages when rows > 2 * cols; moderately tall blocks keep the
+   direct rotations and their full high relative accuracy.
 
    [decompose a] returns (u, sigma, v) with a = u * diag(sigma) * v^T,
    u : m×r, v : n×r orthonormal columns, sigma descending, r = min m n. *)
@@ -71,6 +89,7 @@ let jacobi_core ~threshold ~(w : float array array) ~(v : float array array opti
   done
 
 let columns_of (a : Mat.t) = Array.init a.Mat.cols (fun j -> Mat.col a j)
+let identity_cols n = Array.init n (fun j -> Array.init n (fun i -> if i = j then 1.0 else 0.0))
 
 (* Descending order of the column norms. *)
 let sort_order (sigma : float array) =
@@ -78,13 +97,10 @@ let sort_order (sigma : float array) =
   Array.sort (fun i j -> compare sigma.(j) sigma.(i)) order;
   order
 
-(* Core routine for m >= n. *)
-let jacobi_tall (a : Mat.t) =
-  let m = a.Mat.rows and n = a.Mat.cols in
-  let w = columns_of a in
-  let v = Array.init n (fun j -> Array.init n (fun i -> if i = j then 1.0 else 0.0)) in
-  jacobi_core ~threshold:1e-15 ~w ~v:(Some v) m n;
-  (* Singular values are the column norms of w; normalise to get U. *)
+(* Sort the rotated columns by norm and assemble the factors: sigma are
+   the column norms of [w], U their normalisations, V the accumulated
+   rotations.  Shared by the cyclic and round-robin paths. *)
+let assemble ~(w : float array array) ~(v : float array array) m n =
   let sigma = Array.map Vec.norm2 w in
   let order = sort_order sigma in
   let s_sorted = Array.map (fun j -> sigma.(j)) order in
@@ -100,20 +116,22 @@ let jacobi_tall (a : Mat.t) =
     order;
   { u; sigma = s_sorted; v = vs }
 
-let decompose (a : Mat.t) =
+(* Core routine for m >= n, serial cyclic order. *)
+let jacobi_tall (a : Mat.t) =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let w = columns_of a in
+  let v = identity_cols n in
+  jacobi_core ~threshold:1e-15 ~w ~v:(Some v) m n;
+  assemble ~w ~v m n
+
+let decompose_cyclic (a : Mat.t) =
   if a.Mat.rows >= a.Mat.cols then jacobi_tall a
   else begin
     let { u; sigma; v } = jacobi_tall (Mat.transpose a) in
     { u = v; sigma; v = u }
   end
 
-(* Singular values only: same sweeps on the same columns, but the
-   right-hand rotations are never accumulated and no U/V is assembled —
-   the working columns evolve identically, so the values match
-   [decompose]'s bit for bit at the default threshold.  A looser
-   [threshold] trades (relative) accuracy for fewer sweeps; adaptive
-   order-control monitors use that, final decompositions must not. *)
-let values ?(threshold = 1e-15) (a : Mat.t) =
+let values_cyclic ?(threshold = 1e-15) (a : Mat.t) =
   let a = if a.Mat.rows >= a.Mat.cols then a else Mat.transpose a in
   let m = a.Mat.rows and n = a.Mat.cols in
   let w = columns_of a in
@@ -122,9 +140,64 @@ let values ?(threshold = 1e-15) (a : Mat.t) =
   let order = sort_order sigma in
   Array.map (fun j -> sigma.(j)) order
 
+(* ------------------------------------------------------------------ *)
+(* Round-robin path with tall-block QR preconditioning                 *)
+(* ------------------------------------------------------------------ *)
+
+(* QR preconditioning is backward stable at eps * sigma_max, which is
+   plenty for order control but would cost the tiniest values their
+   relative accuracy; only clearly tall blocks — where the O(n c^2)
+   sweeps dominate and the flop savings are real — take the shortcut. *)
+let preconditionable m n = n > 0 && m > 2 * n
+
+(* Core routine for m >= n, round-robin order. *)
+let jacobi_tall_par ?workers (a : Mat.t) =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  if preconditionable m n then begin
+    let f = Par_kernel.qr_factor ?workers a in
+    let w = columns_of (Par_kernel.qr_r f) in
+    let v = identity_cols n in
+    Par_kernel.jacobi_rounds ?workers ~v ~threshold:1e-15 ~max_sweeps ~rows:n w;
+    let small = assemble ~w ~v n n in
+    (* lift the n x n left factor back to state dimension: U = Q U_r *)
+    { small with u = Par_kernel.qr_apply_q ?workers f small.u }
+  end
+  else begin
+    let w = columns_of a in
+    let v = identity_cols n in
+    Par_kernel.jacobi_rounds ?workers ~v ~threshold:1e-15 ~max_sweeps ~rows:m w;
+    assemble ~w ~v m n
+  end
+
+let decompose ?workers (a : Mat.t) =
+  if a.Mat.rows >= a.Mat.cols then jacobi_tall_par ?workers a
+  else begin
+    let { u; sigma; v } = jacobi_tall_par ?workers (Mat.transpose a) in
+    { u = v; sigma; v = u }
+  end
+
+(* Singular values only: same schedule on the same columns, but the
+   right-hand rotations are never accumulated and no U/V is assembled —
+   the working columns evolve identically, so the values match
+   [decompose]'s bit for bit at the default threshold.  A looser
+   [threshold] trades (relative) accuracy for fewer sweeps; adaptive
+   order-control monitors use that, final decompositions must not. *)
+let values ?workers ?(threshold = 1e-15) (a : Mat.t) =
+  let a = if a.Mat.rows >= a.Mat.cols then a else Mat.transpose a in
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let w, rows =
+    if preconditionable m n then
+      (columns_of (Par_kernel.qr_r (Par_kernel.qr_factor ?workers a)), n)
+    else (columns_of a, m)
+  in
+  Par_kernel.jacobi_rounds ?workers ~threshold ~max_sweeps ~rows w;
+  let sigma = Array.map Vec.norm2 w in
+  let order = sort_order sigma in
+  Array.map (fun j -> sigma.(j)) order
+
 (* Numerical rank at relative tolerance [tol]. *)
-let rank ?(tol = 1e-12) a =
-  let s = values a in
+let rank ?(tol = 1e-12) ?workers a =
+  let s = values ?workers a in
   if Array.length s = 0 || s.(0) = 0.0 then 0
   else begin
     let r = ref 0 in

@@ -4,7 +4,17 @@
     Chosen over bidiagonalisation for robustness and simplicity: it
     computes small singular values to high relative accuracy, which matters
     because PMTBR order control reads 10-15 decades of singular-value decay
-    (paper Fig. 5). *)
+    (paper Fig. 5).
+
+    [decompose] and [values] run the round-robin rotation schedule of
+    {!Par_kernel.jacobi_rounds} — parallel across the disjoint column
+    pairs of each round, bitwise-identical for any [workers] — and
+    shortcut clearly tall blocks (rows > 2 * cols) through a blocked QR,
+    rotating only the small triangular factor.  [decompose_cyclic] and
+    [values_cyclic] keep the original serial cyclic sweep as the
+    reference implementation; the two schedules agree on every singular
+    value to the sweep threshold's relative accuracy (tests pin
+    [1e-12 * sigma_max]). *)
 
 type t = {
   u : Mat.t;  (** left singular vectors, [m x min m n], orthonormal columns *)
@@ -12,10 +22,12 @@ type t = {
   v : Mat.t;  (** right singular vectors, [n x min m n] *)
 }
 
-val decompose : Mat.t -> t
-(** [decompose a] satisfies [a = u * diag sigma * v^T]. *)
+val decompose : ?workers:int -> Mat.t -> t
+(** [decompose a] satisfies [a = u * diag sigma * v^T].  [workers] sizes
+    the kernel pool (default {!Par_kernel.default_workers}); the result is
+    bitwise-identical for any value. *)
 
-val values : ?threshold:float -> Mat.t -> float array
+val values : ?workers:int -> ?threshold:float -> Mat.t -> float array
 (** Singular values only, descending.  Skips the U/V accumulation of
     [decompose] but runs the identical rotation sweeps, so at the default
     [threshold] ([1e-15]) the values match [decompose]'s bit for bit.  A
@@ -23,7 +35,16 @@ val values : ?threshold:float -> Mat.t -> float array
     roughly that relative accuracy — meant for convergence monitors that
     only compare values between iterations, not for final answers. *)
 
-val rank : ?tol:float -> Mat.t -> int
+val decompose_cyclic : Mat.t -> t
+(** Serial reference: the fixed cyclic rotation order, no QR
+    preconditioning.  Same contract as {!decompose}; kept for tests and
+    benchmarks to pin the round-robin path against. *)
+
+val values_cyclic : ?threshold:float -> Mat.t -> float array
+(** Serial reference for {!values}; matches {!decompose_cyclic} bit for
+    bit at the default threshold. *)
+
+val rank : ?tol:float -> ?workers:int -> Mat.t -> int
 (** Number of singular values above [tol] (default [1e-12]) relative to the
     largest. *)
 

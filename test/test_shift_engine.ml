@@ -111,6 +111,24 @@ let test_stats_sane () =
   let u = Shift_engine.utilisation st in
   if u < 0.0 || u > 1.0 then Alcotest.failf "utilisation %g out of [0,1]" u
 
+let test_utilisation_degenerate () =
+  (* a run that never ticked the clock has no meaningful utilisation;
+     reporting 1.0 (as the old code did) painted an idle pool as fully
+     busy in the CLI summary *)
+  let st =
+    {
+      Shift_engine.solves = 0;
+      workers = 2;
+      factor_s = 0.0;
+      solve_s = 0.0;
+      wall_s = 0.0;
+      busy_s = [| 0.0; 0.0 |];
+    }
+  in
+  Alcotest.(check (float 0.0)) "zero wall clock" 0.0 (Shift_engine.utilisation st);
+  let st = { st with Shift_engine.workers = 0; busy_s = [||] } in
+  Alcotest.(check (float 0.0)) "no workers" 0.0 (Shift_engine.utilisation st)
+
 let test_worker_cap () =
   (* without [oversubscribe] the pool never exceeds the hardware *)
   let sys = mesh_system ~rows:4 ~cols:4 ~ports:1 in
@@ -146,6 +164,7 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "stats sane" `Quick test_stats_sane;
+          Alcotest.test_case "utilisation degenerate" `Quick test_utilisation_degenerate;
           Alcotest.test_case "worker cap" `Quick test_worker_cap;
           Alcotest.test_case "reduce worker-invariant" `Quick test_reduce_worker_invariant;
         ] );
