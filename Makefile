@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-adaptive bench-variants bench-dense clean
+.PHONY: all build test check bench bench-adaptive bench-variants bench-dense bench-sweep clean
 
 all: build
 
@@ -33,6 +33,14 @@ bench-variants:
 # singular values drift past 1e-12 relative of the cyclic reference)
 bench-dense:
 	dune exec bench/dense_bench.exe
+
+# regenerate BENCH_sweep.json (fails if the sweep engine drops below 3x
+# over the per-point fresh-factorisation path on the 1089-state mesh x
+# 200-point grid, the sweep loses bitwise worker-invariance, or the
+# Hessenberg ROM tier drifts past 1e-12 relative of the dense-LU
+# reference)
+bench-sweep:
+	dune exec bench/sweep_bench.exe
 
 clean:
 	dune clean

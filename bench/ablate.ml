@@ -21,7 +21,7 @@ let sampling_schemes () =
         (fun count ->
           let pts = Sampling.points scheme ~count in
           let r = Pmtbr.reduce ~order:10 sys pts in
-          let err = Freq.max_rel_error href (Freq.sweep r.Pmtbr.rom om) in
+          let err = Freq.stream_max_rel_error (Freq.compare_sweep r.Pmtbr.rom om ~ref_:href) in
           Util.row [ name; string_of_int count; Util.fmt_e err ])
         [ 15; 30 ])
     [
@@ -66,9 +66,9 @@ let projection_sides () =
   List.iter
     (fun q ->
       let one = Pmtbr.reduce ~order:q sys pts in
-      let e1 = Freq.max_rel_error href (Freq.sweep one.Pmtbr.rom om) in
+      let e1 = Freq.stream_max_rel_error (Freq.compare_sweep one.Pmtbr.rom om ~ref_:href) in
       let two = Cross_gramian.reduce ~order:q sys pts in
-      let e2 = Freq.max_rel_error href (Freq.sweep two.Cross_gramian.rom om) in
+      let e2 = Freq.stream_max_rel_error (Freq.compare_sweep two.Cross_gramian.rom om ~ref_:href) in
       Util.row [ string_of_int q; Util.fmt_e e1; Util.fmt_e e2 ])
     [ 8; 16; 24; 32 ]
 
@@ -130,7 +130,7 @@ let order_control () =
   Util.row [ "monitor"; "samples_used"; "rel_err"; "time_ms" ];
   let measure name f =
     let r, dt = Util.time_it f in
-    let err = Freq.max_rel_error href (Freq.sweep r.Pmtbr.rom om) in
+    let err = Freq.stream_max_rel_error (Freq.compare_sweep r.Pmtbr.rom om ~ref_:href) in
     Util.row
       [ name; string_of_int r.Pmtbr.samples; Util.fmt_e err; Printf.sprintf "%.1f" (dt *. 1e3) ]
   in
@@ -150,9 +150,9 @@ let one_pass_vs_two_step () =
       let pm =
         Freq_selective.reduce ~order:q sys ~bands:[ Freq_selective.band ~lo:0.0 ~hi:w8 ] ~count:40
       in
-      let e_pm = Freq.max_rel_error href (Freq.sweep pm.Pmtbr.rom om) in
+      let e_pm = Freq.stream_max_rel_error (Freq.compare_sweep pm.Pmtbr.rom om ~ref_:href) in
       let ts = Two_step.reduce sys ~s0:(w8 /. 20.0) ~intermediate:(3 * q) ~order:q () in
-      let e_ts = Freq.max_rel_error href (Freq.sweep ts.Two_step.rom om) in
+      let e_ts = Freq.stream_max_rel_error (Freq.compare_sweep ts.Two_step.rom om ~ref_:href) in
       Util.row [ string_of_int q; Util.fmt_e e_pm; Util.fmt_e e_ts ])
     [ 10; 14; 18; 22 ]
 

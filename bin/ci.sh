@@ -23,4 +23,7 @@ OCAMLRUNPARAM=b dune exec bench/variants_bench.exe -- --smoke
 echo "== dense-kernel smoke bench (GEMM/QR bitwise worker-invariance + Jacobi sigma drift)"
 OCAMLRUNPARAM=b dune exec bench/dense_bench.exe -- --smoke
 
+echo "== sweep-engine smoke bench (worker-invariance + replay/Hessenberg agreement)"
+OCAMLRUNPARAM=b dune exec bench/sweep_bench.exe -- --smoke
+
 echo "CI OK"

@@ -289,6 +289,17 @@ let print_stats ?(note = "each shift solved once") (st : Sample_cache.stats) =
   Printf.printf "factor/solve time: %.4f s / %.4f s\n" st.Sample_cache.factor_s
     st.Sample_cache.solve_s
 
+(* In-band verification shared by reduce/adaptive: the full-model
+   reference sweep is computed once per invocation (through the
+   two-tier sweep engine) and every reported metric streams the reduced
+   model against that same array. *)
+let report_in_band ?workers sys rom ~w_hi =
+  let omegas = Vec.linspace (w_hi /. 100.0) w_hi 40 in
+  let href = Freq.sweep ?workers sys omegas in
+  let st = Freq.compare_sweep ?workers rom omegas ~ref_:href in
+  Printf.printf "worst in-band relative error: %.3e\n" (Freq.stream_max_rel_error st);
+  Printf.printf "in-band rms error:            %.3e\n" (Freq.stream_rms_error st)
+
 (* Synthesized correlated input class for --method correlated: square waves
    derived from one clock (dithered timing, fixed per-port amplitudes), the
    Section VI-C experiment's input model, with the clock period tied to the
@@ -402,9 +413,7 @@ let run_reduce circuit spice size ports seed meth order tol samples band workers
     (fun (n, offered) -> Printf.printf "samples consumed:  %d of %d offered\n" n offered)
     used;
   if stats then Option.iter print_stats st;
-  let omegas = Vec.linspace (w_hi /. 100.0) w_hi 40 in
-  let err = Freq.max_rel_error (Freq.sweep sys omegas) (Freq.sweep rom omegas) in
-  Printf.printf "worst in-band relative error: %.3e\n" err
+  report_in_band ?workers sys rom ~w_hi
 
 let reduce_cmd =
   let doc = "Reduce a circuit model and report the in-band error." in
@@ -467,9 +476,7 @@ let run_adaptive circuit spice size ports seed monitor order tol batch rebuild s
   Array.iteri
     (fun i w -> Printf.printf "batch %-2d wall:     %.4f s\n" (i + 1) w)
     st.Sample_cache.batch_wall_s;
-  let omegas = Vec.linspace (w_hi /. 100.0) w_hi 40 in
-  let err = Freq.max_rel_error (Freq.sweep sys omegas) (Freq.sweep result.Pmtbr.rom omegas) in
-  Printf.printf "worst in-band relative error: %.3e\n" err
+  report_in_band ?workers sys result.Pmtbr.rom ~w_hi
 
 let adaptive_cmd =
   let doc =
@@ -488,26 +495,32 @@ let adaptive_cmd =
 let npoints_arg =
   Arg.(value & opt int 40 & info [ "points" ] ~docv:"N" ~doc:"Number of frequency points.")
 
-let run_sweep circuit spice size ports seed npoints band =
+let run_sweep circuit spice size ports seed npoints band workers =
   let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
   let sys = Dss.of_netlist nl in
   let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
   let w_lo = match band with Some (lo, _) -> Float.max lo (w_hi /. 1000.0) | None -> w_hi /. 1000.0 in
+  let workers = workers_opt workers in
+  let omegas = Vec.linspace w_lo w_hi npoints in
   print_endline "omega_rad_s\tf_GHz\tmag_H11\tphase_rad";
-  Array.iter
-    (fun w ->
-      let h = Cmat.get (Freq.eval_jw sys w) 0 0 in
-      Printf.printf "%.5e\t%.4f\t%.5e\t%.4f\n" w
-        (w /. (2.0 *. Float.pi *. 1e9))
-        (Complex.norm h) (Complex.arg h))
-    (Vec.linspace w_lo w_hi npoints)
+  if Array.length omegas > 0 then begin
+    (* one plan for the whole grid: symbolic analysis (or Hessenberg
+       reduction) paid once, points fanned across the pool, rows
+       streamed out in grid order *)
+    let plan = Sweep_engine.prepare ~template:{ Complex.re = 0.0; im = omegas.(0) } sys in
+    Sweep_engine.iteri ?workers plan omegas ~f:(fun k h ->
+        let h = Cmat.get h 0 0 in
+        Printf.printf "%.5e\t%.4f\t%.5e\t%.4f\n" omegas.(k)
+          (omegas.(k) /. (2.0 *. Float.pi *. 1e9))
+          (Complex.norm h) (Complex.arg h))
+  end
 
 let sweep_cmd =
   let doc = "Print the port-1 frequency response of a circuit model." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run_sweep $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ npoints_arg
-      $ band_arg)
+      $ band_arg $ workers_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)

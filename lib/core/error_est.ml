@@ -26,9 +26,17 @@ let normalized_curve (sigma : float array) =
   let smax = if Array.length sigma = 0 then 1.0 else Float.max sigma.(0) 1e-300 in
   Array.map (fun e -> e /. (2.0 *. smax)) (curve sigma)
 
-(* Order needed to push the normalised estimate below [tol]. *)
+(* Order needed to push the normalised estimate below [tol].  [met]
+   distinguishes a real hit from the fallback: the old signature returned
+   n - 1 silently when no order satisfied [tol] (possible whenever tol is
+   negative/NaN, e.g. a mis-parsed CLI flag) and callers reported it as
+   satisfied. *)
 let order_for (sigma : float array) ~tol =
   let curve = normalized_curve sigma in
   let n = Array.length curve in
-  let rec search q = if q >= n then n - 1 else if curve.(q) <= tol then q else search (q + 1) in
+  let rec search q =
+    if q >= n then (max 0 (n - 1), false)
+    else if curve.(q) <= tol then (q, true)
+    else search (q + 1)
+  in
   search 0

@@ -373,9 +373,15 @@ let test_error_est_monotone () =
 
 let test_error_est_order_for () =
   let sigma = [| 1.0; 0.1; 0.01; 0.001 |] in
-  let q = Error_est.order_for sigma ~tol:0.02 in
+  let q, met = Error_est.order_for sigma ~tol:0.02 in
   (* tail after q=2: 2*(0.01+0.001)/2 = 0.011 <= 0.02 *)
-  Alcotest.(check int) "order" 2 q
+  Alcotest.(check int) "order" 2 q;
+  Alcotest.(check bool) "met" true met;
+  (* an unmeetable tolerance must be flagged instead of silently
+     reporting the last order as satisfying it *)
+  let q, met = Error_est.order_for sigma ~tol:(-1.0) in
+  Alcotest.(check int) "fallback order" 4 q;
+  Alcotest.(check bool) "unmet flagged" false met
 
 let test_error_est_predicts_pmtbr_error () =
   (* the singular-value estimate should be within a couple of orders of
