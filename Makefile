@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-adaptive bench-variants bench-dense bench-sweep clean
+.PHONY: all build test check bench bench-adaptive bench-variants bench-dense bench-sweep bench-lyap clean
 
 all: build
 
@@ -41,6 +41,13 @@ bench-dense:
 # reference)
 bench-sweep:
 	dune exec bench/sweep_bench.exe
+
+# regenerate BENCH_lyap.json (fails if low-rank exact TBR drops below 5x
+# over the dense Bartels-Stewart baseline on the 1089-state mesh, the
+# Hankel values drift past 1e-8 relative of dense, the reduction loses
+# bitwise worker-invariance, or more than one symbolic analysis is paid)
+bench-lyap:
+	dune exec bench/lyap_bench.exe
 
 clean:
 	dune clean

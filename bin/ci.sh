@@ -26,4 +26,7 @@ OCAMLRUNPARAM=b dune exec bench/dense_bench.exe -- --smoke
 echo "== sweep-engine smoke bench (worker-invariance + replay/Hessenberg agreement)"
 OCAMLRUNPARAM=b dune exec bench/sweep_bench.exe -- --smoke
 
+echo "== low-rank Lyapunov smoke bench (LR-ADI vs dense agreement + handle reuse)"
+OCAMLRUNPARAM=b dune exec bench/lyap_bench.exe -- --smoke
+
 echo "CI OK"

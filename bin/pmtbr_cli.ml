@@ -219,6 +219,7 @@ type meth =
   | M_fs
   | M_prima
   | M_tbr
+  | M_tbr_lr
   | M_multipoint
   | M_cross
   | M_correlated
@@ -231,6 +232,7 @@ let method_names =
     ("fs-pmtbr", M_fs);
     ("prima", M_prima);
     ("tbr", M_tbr);
+    ("tbr-lr", M_tbr_lr);
     ("multipoint", M_multipoint);
     ("cross-gramian", M_cross);
     ("correlated", M_correlated);
@@ -261,7 +263,7 @@ let stats_arg =
         ~doc:
           "Print the sample-cache counters (shift solves, columns held, batches, timings).  \
            Available for the cache-pipeline methods: pmtbr, fs-pmtbr, multipoint, \
-           cross-gramian, correlated.")
+           cross-gramian, correlated; tbr-lr prints its Lyapunov-solver counters instead.")
 
 let adaptive_arg =
   Arg.(
@@ -392,6 +394,31 @@ let run_reduce circuit spice size ports seed meth order tol samples band workers
         if adaptive then no_adaptive "tbr";
         if stats then no_stats "tbr";
         ((Tbr.reduce_dss ?order ?tol sys).Tbr.rom, None, None)
+    | M_tbr_lr ->
+        if adaptive then no_adaptive "tbr-lr";
+        (* with an explicit band, the LR-ADI stop becomes the band-limited
+           residual criterion over the same Bands sampling PMTBR uses *)
+        let stop =
+          match band with
+          | Some (lo, hi) when lo > 0.0 ->
+              let bpts = Sampling.points (Sampling.Bands [ (lo, hi) ]) ~count:8 in
+              Some
+                (Lr_lyap.Band_residual
+                   (Array.map (fun p -> (p.Sampling.s, p.Sampling.weight)) bpts))
+          | _ -> None
+        in
+        let r, st = Tbr_lr.reduce_stats ?order ?tol ?stop ?workers sys in
+        if stats then begin
+          Printf.printf "symbolic analyses: %d\n" st.Tbr_lr.symbolic;
+          Printf.printf "refactorizations:  %d (ADI shifts: %d)\n" st.Tbr_lr.refactorizations
+            (Array.length st.Tbr_lr.shifts);
+          Printf.printf "shifted solves:    %d\n" st.Tbr_lr.solves;
+          Printf.printf "gramian columns:   %d ctrl / %d obs (converged: %b / %b)\n"
+            st.Tbr_lr.ctrl.Lr_lyap.columns st.Tbr_lr.obs.Lr_lyap.columns
+            st.Tbr_lr.ctrl.Lr_lyap.converged st.Tbr_lr.obs.Lr_lyap.converged;
+          Printf.printf "wall time:         %.4f s\n" st.Tbr_lr.wall_s
+        end;
+        (r.Tbr_lr.rom, None, None)
     | M_two_step ->
         if adaptive then no_adaptive "two-step";
         if stats then no_stats "two-step";

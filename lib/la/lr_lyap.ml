@@ -1,0 +1,565 @@
+(* Low-rank Lyapunov solvers: LR-ADI with real/complex-pair shift handling
+   and Penzl-style heuristic shifts, plus an extended Krylov alternative.
+
+   Everything works through the abstract [ops] record so the same code runs
+   on dense (E, A) pairs (tests) and on the sparse multi-shift machinery
+   (the LTI layer).  All iterations are serial and fixed-order: results are
+   bitwise-reproducible and worker-count independent by construction. *)
+
+type ops = {
+  n : int;
+  mul_e : Mat.t -> Mat.t;
+  mul_a : Mat.t -> Mat.t;
+  solve_shift : Complex.t -> Mat.t -> Complex.t array array;
+  solve_e : Mat.t -> Mat.t;
+}
+
+type stop = Residual_fro | Band_residual of (Complex.t * float) array
+
+type stats = {
+  steps : int;
+  solves : int;
+  columns : int;
+  residuals : float array;
+  converged : bool;
+}
+
+(* ---------------------------------------------------------------- helpers *)
+
+let mat_of_cols n (cols : float array array) =
+  Mat.init n (Array.length cols) (fun i j -> cols.(j).(i))
+
+let re_block n (cols : Complex.t array array) =
+  Mat.init n (Array.length cols) (fun i j -> cols.(j).(i).Complex.re)
+
+let im_block n (cols : Complex.t array array) =
+  Mat.init n (Array.length cols) (fun i j -> cols.(j).(i).Complex.im)
+
+(* A shift is treated as real when its imaginary part is negligible against
+   its (strictly negative) real part. *)
+let is_effectively_real (p : Complex.t) =
+  Float.abs p.Complex.im <= 1e-300 +. (1e-12 *. Float.abs p.Complex.re)
+
+(* ||W W^T||_F computed as ||W^T W||_F: the Gram matrix is m x m for an
+   n x m factor, so the residual norm costs O(n m^2) per step. *)
+let low_rank_fro (w : Mat.t) = Mat.frobenius (Mat.gram w)
+
+let check_weights pts =
+  Array.iter
+    (fun (_, w) ->
+      if not (w >= 0.0) then
+        invalid_arg "Lr_lyap.band_residual: weights must be non-negative")
+    pts
+
+(* Band-limited residual functional of arXiv 2411.13571: sample the residual
+   factor through the resolvent on the frequency band of interest.  The
+   solves go through [ops.solve_shift] at p = -s, i.e. (A - s E)^{-1}, which
+   spans the same factor cache the ADI shifts use. *)
+let band_residual_counted ops ~solves pts (w : Mat.t) =
+  check_weights pts;
+  if w.Mat.cols = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun ((s : Complex.t), weight) ->
+        let cols = ops.solve_shift (Complex.neg s) w in
+        incr solves;
+        let sq = ref 0.0 in
+        Array.iter
+          (fun col ->
+            Array.iter (fun z -> sq := !sq +. Complex.norm2 z) col)
+          cols;
+        acc := !acc +. (weight *. !sq))
+      pts;
+    sqrt !acc
+  end
+
+let band_residual ops pts w = band_residual_counted ops ~solves:(ref 0) pts w
+
+(* ------------------------------------------------------- shift selection *)
+
+(* Arnoldi with twice-applied modified Gram-Schmidt; returns the square
+   Hessenberg section whose eigenvalues are the Ritz values.  [apply] maps a
+   vector to a vector. *)
+let arnoldi ~apply ~steps (v0 : float array) =
+  let nrm0 = Vec.norm2 v0 in
+  if nrm0 <= 1e-300 then Mat.create 0 0
+  else begin
+    let basis = Array.make (steps + 1) [||] in
+    basis.(0) <- Vec.scale (1.0 /. nrm0) v0;
+    let h = Array.make_matrix (steps + 1) steps 0.0 in
+    let completed = ref 0 and stop = ref false in
+    let j = ref 0 in
+    while (not !stop) && !j < steps do
+      let w = apply basis.(!j) in
+      for _pass = 1 to 2 do
+        for i = 0 to !j do
+          let c = Vec.dot basis.(i) w in
+          h.(i).(!j) <- h.(i).(!j) +. c;
+          Vec.axpy (-.c) basis.(i) w
+        done
+      done;
+      let nrm = Vec.norm2 w in
+      h.(!j + 1).(!j) <- nrm;
+      completed := !j + 1;
+      if nrm <= 1e-12 *. Float.max 1.0 nrm0 then stop := true
+      else begin
+        basis.(!j + 1) <- Vec.scale (1.0 /. nrm) w;
+        incr j
+      end
+    done;
+    let k = !completed in
+    Mat.init k k (fun i j -> h.(i).(j))
+  end
+
+let ritz_values ~apply ~steps v0 =
+  let h = arnoldi ~apply ~steps v0 in
+  if h.Mat.rows = 0 then [||] else Cschur.eigenvalues (Cschur.of_real h)
+
+(* The ADI rational function factor contributed by shift p at a spectral
+   point t: |t - conj p| / |t + p|, doubled with the conjugate twin when p
+   is complex (shifts are applied in conjugate pairs). *)
+let adi_factor (p : Complex.t) (t : Complex.t) =
+  let quot num den = Complex.norm num /. Float.max 1e-300 (Complex.norm den) in
+  let f = quot (Complex.sub t (Complex.conj p)) (Complex.add t p) in
+  if is_effectively_real p then f
+  else f *. quot (Complex.sub t p) (Complex.add t (Complex.conj p))
+
+let penzl_shifts_counted ?(num = 16) ?(ritz = 12) ~solves ops (b : Mat.t) =
+  if num < 1 then invalid_arg "Lr_lyap.penzl_shifts: num must be positive";
+  let n = ops.n in
+  (* A deterministic, B-independent start vector keeps the selection stable
+     across right-hand sides; fall back to e_1 when B is all zeros. *)
+  let v0 =
+    let v = Vec.zeros n in
+    for j = 0 to b.Mat.cols - 1 do
+      for i = 0 to n - 1 do
+        v.(i) <- v.(i) +. Mat.get b i j
+      done
+    done;
+    if Vec.norm2 v <= 1e-300 && n > 0 then v.(0) <- 1.0;
+    v
+  in
+  let as_mat v = Mat.init n 1 (fun i _ -> v.(i)) in
+  let col0 (m : Mat.t) = Array.init n (fun i -> Mat.get m i 0) in
+  (* Large-magnitude end of the spectrum: Ritz values of F = E^{-1} A. *)
+  let apply_f v = col0 (ops.solve_e (ops.mul_a (as_mat v))) in
+  (* Small-magnitude end: reciprocals of Ritz values of F^{-1} = A^{-1} E;
+     p = 0 turns the shifted solve into a plain A^{-1}. *)
+  let apply_finv v =
+    let cols = ops.solve_shift Complex.zero (ops.mul_e (as_mat v)) in
+    incr solves;
+    Array.init n (fun i -> cols.(0).(i).Complex.re)
+  in
+  let steps = min ritz (max 1 n) in
+  let outer = ritz_values ~apply:apply_f ~steps v0 in
+  let inner =
+    Array.to_list (ritz_values ~apply:apply_finv ~steps v0)
+    |> List.filter_map (fun mu ->
+           if Complex.norm mu <= 1e-300 then None else Some (Complex.inv mu))
+    |> Array.of_list
+  in
+  (* Stable candidates only, one representative per conjugate pair. *)
+  let candidates =
+    Array.to_list (Array.append outer inner)
+    |> List.filter_map (fun (l : Complex.t) ->
+           if not (l.Complex.re < 0.0) then None
+           else if is_effectively_real l then Some { l with Complex.im = 0.0 }
+           else Some { l with Complex.im = Float.abs l.Complex.im })
+    |> List.sort_uniq (fun (a : Complex.t) (b : Complex.t) ->
+           compare (a.Complex.re, a.Complex.im) (b.Complex.re, b.Complex.im))
+  in
+  (* Near-duplicates (same Ritz value seen by both Arnoldi runs) would waste
+     shift slots; merge them at a relative tolerance. *)
+  let candidates =
+    List.fold_left
+      (fun acc (l : Complex.t) ->
+        let dup =
+          List.exists
+            (fun (m : Complex.t) ->
+              Complex.norm (Complex.sub l m) <= 1e-8 *. Complex.norm l)
+            acc
+        in
+        if dup then acc else l :: acc)
+      [] candidates
+    |> List.rev |> Array.of_list
+  in
+  if Array.length candidates = 0 then [| { Complex.re = -1.0; im = 0.0 } |]
+  else begin
+    (* Penzl's greedy sweep: repeatedly add the candidate where the current
+       ADI rational function is worst. *)
+    let chosen = ref [] and weight = ref 0 in
+    let value_at t =
+      List.fold_left (fun acc p -> acc *. adi_factor p t) 1.0 !chosen
+    in
+    (* Seed with the candidate of largest magnitude (Penzl's choice). *)
+    let first =
+      Array.fold_left
+        (fun best l ->
+          match best with
+          | None -> Some l
+          | Some b -> if Complex.norm l > Complex.norm b then Some l else best)
+        None candidates
+    in
+    (match first with
+    | Some p ->
+        chosen := [ p ];
+        weight := if is_effectively_real p then 1 else 2
+    | None -> ());
+    let continue_ = ref true in
+    while !continue_ && !weight < num do
+      let worst = ref None and worst_v = ref neg_infinity in
+      Array.iter
+        (fun t ->
+          if not (List.mem t !chosen) then begin
+            let v = value_at t in
+            if v > !worst_v then begin
+              worst_v := v;
+              worst := Some t
+            end
+          end)
+        candidates;
+      match !worst with
+      | None -> continue_ := false
+      | Some p ->
+          chosen := p :: !chosen;
+          weight := !weight + (if is_effectively_real p then 1 else 2)
+    done;
+    Array.of_list (List.rev !chosen)
+  end
+
+let penzl_shifts ?num ?ritz ops b =
+  penzl_shifts_counted ?num ?ritz ~solves:(ref 0) ops b
+
+(* ----------------------------------------------------------------- LR-ADI *)
+
+(* Rank-truncating recompression of an accumulating low-rank factor.  With
+   G = Z^T Z = U diag(lam) U^T, the columns of Z U are orthogonal with norms
+   sqrt(lam_i), so dropping the columns with sqrt(lam_i) below a relative
+   cutoff is the optimal truncation of Z Z^T at that tolerance.  This is
+   what keeps the factor near the Gramian's numerical rank on many-input
+   systems, where raw ADI appends [inputs] columns per step. *)
+let compress_factor ~cutoff (z : Mat.t) =
+  if z.Mat.cols <= 1 then z
+  else begin
+    let lam, u = Eig_sym.decompose (Mat.gram z) in
+    let lmax = if Array.length lam = 0 then 0.0 else Float.max 0.0 lam.(0) in
+    let keep = ref 0 in
+    Array.iter
+      (fun l -> if l > cutoff *. cutoff *. lmax && l > 0.0 then incr keep)
+      lam;
+    let r = max 1 !keep in
+    if r >= z.Mat.cols then z else Mat.mul z (Mat.sub_cols u 0 r)
+  end
+
+(* Assemble Z from the accumulated blocks in one pass. *)
+let assemble n blocks_rev =
+  let blocks = List.rev blocks_rev in
+  let total = List.fold_left (fun acc (b : Mat.t) -> acc + b.Mat.cols) 0 blocks in
+  let z = Mat.create n total in
+  let off = ref 0 in
+  List.iter
+    (fun (b : Mat.t) ->
+      for i = 0 to n - 1 do
+        Array.blit b.Mat.data (i * b.Mat.cols) z.Mat.data ((i * total) + !off)
+          b.Mat.cols
+      done;
+      off := !off + b.Mat.cols)
+    blocks;
+  z
+
+let lr_adi ?shifts ?num_shifts ?ritz ?(tol = 1e-10) ?(max_steps = 200)
+    ?(stop = Residual_fro) ?compress ops (b : Mat.t) =
+  if b.Mat.rows <> ops.n then
+    invalid_arg "Lr_lyap.lr_adi: right-hand side row count does not match n";
+  let solves = ref 0 in
+  let finish ~steps ~columns ~residuals ~converged z =
+    ( z,
+      {
+        steps;
+        solves = !solves;
+        columns;
+        residuals = Array.of_list (List.rev residuals);
+        converged;
+      } )
+  in
+  if ops.n = 0 || b.Mat.cols = 0 then
+    finish ~steps:0 ~columns:0 ~residuals:[] ~converged:true
+      (Mat.create ops.n 0)
+  else begin
+    let shifts =
+      match shifts with
+      | Some s ->
+          if Array.length s = 0 then
+            invalid_arg "Lr_lyap.lr_adi: empty shift array";
+          Array.iter
+            (fun (p : Complex.t) ->
+              if not (p.Complex.re < 0.0) then
+                invalid_arg "Lr_lyap.lr_adi: shifts must have Re p < 0")
+            s;
+          Array.copy s
+      | None -> penzl_shifts_counted ?num:num_shifts ?ritz ~solves ops b
+    in
+    let ns = Array.length shifts in
+    let den_fro = Float.max 1e-300 (low_rank_fro b) in
+    let den_stop =
+      match stop with
+      | Residual_fro -> den_fro
+      | Band_residual pts ->
+          Float.max 1e-300 (band_residual_counted ops ~solves pts b)
+    in
+    (* Compression cutoff on the singular values of Z, relative to the
+       largest: the default drops only what sits at the Gram matrix's own
+       round-off floor, so the returned Gramian is unchanged to ~1e-16
+       while the factor stays near the numerical rank.  0 disables. *)
+    let ctol =
+      match compress with
+      | Some c -> c
+      | None -> Float.max 1e-8 (0.01 *. tol)
+    in
+    let flush_at = max 16 (2 * b.Mat.cols) in
+    let w = ref (Mat.copy b) in
+    let z_acc = ref (Mat.create ops.n 0) in
+    let pending = ref [] and pending_cols = ref 0 in
+    let flush ~final () =
+      if !pending_cols > 0 then begin
+        let fresh = assemble ops.n !pending in
+        z_acc :=
+          if (!z_acc).Mat.cols = 0 then fresh else Mat.hcat !z_acc fresh;
+        pending := [];
+        pending_cols := 0;
+        if ctol > 0.0 then z_acc := compress_factor ~cutoff:ctol !z_acc
+      end
+      else if final && ctol > 0.0 && (!z_acc).Mat.cols > 0 then
+        z_acc := compress_factor ~cutoff:ctol !z_acc
+    in
+    let residuals = ref [] in
+    let steps = ref 0 and converged = ref false and cursor = ref 0 in
+    while (not !converged) && !steps < max_steps do
+      let p = shifts.(!cursor mod ns) in
+      incr cursor;
+      let vc = ops.solve_shift p !w in
+      incr solves;
+      let alpha = p.Complex.re in
+      if is_effectively_real p then begin
+        (* V = (A + pE)^{-1} W;  Z += sqrt(-2p) V;  W -= 2p E V. *)
+        let v = re_block ops.n vc in
+        pending := Mat.scale (sqrt (-2.0 *. alpha)) v :: !pending;
+        pending_cols := !pending_cols + v.Mat.cols;
+        w := Mat.sub !w (Mat.scale (2.0 *. alpha) (ops.mul_e v));
+        incr steps
+      end
+      else begin
+        (* Conjugate double step in real arithmetic (Benner-Kuerschner-Saak):
+           with delta = Re p / Im p,
+             V'  = Re V + delta Im V,
+             V'' = sqrt (delta^2 + 1) Im V,
+           the pair {p, conj p} contributes 2 sqrt(-Re p) [V', V''] to Z and
+           updates W -= 4 Re p * E V' — W stays real. *)
+        let vr = re_block ops.n vc and vi = im_block ops.n vc in
+        let delta = alpha /. p.Complex.im in
+        let v1 = Mat.add vr (Mat.scale delta vi) in
+        let v2 = Mat.scale (sqrt ((delta *. delta) +. 1.0)) vi in
+        pending :=
+          Mat.scale (2.0 *. sqrt (-.alpha)) (Mat.hcat v1 v2) :: !pending;
+        pending_cols := !pending_cols + v1.Mat.cols + v2.Mat.cols;
+        w := Mat.sub !w (Mat.scale (4.0 *. alpha) (ops.mul_e v1));
+        steps := !steps + 2
+      end;
+      if ctol > 0.0 && !pending_cols >= flush_at then flush ~final:false ();
+      let rel_fro = low_rank_fro !w /. den_fro in
+      residuals := rel_fro :: !residuals;
+      (match stop with
+      | Residual_fro -> if rel_fro <= tol then converged := true
+      | Band_residual pts ->
+          (* the band check costs a solve per sample point; run it at shift
+             cycle boundaries only *)
+          if !cursor mod ns = 0 || rel_fro <= tol then begin
+            let rel = band_residual_counted ops ~solves pts !w /. den_stop in
+            if rel <= tol then converged := true
+          end)
+    done;
+    flush ~final:true ();
+    finish ~steps:!steps ~columns:(!z_acc).Mat.cols ~residuals:!residuals
+      ~converged:!converged !z_acc
+  end
+
+(* ------------------------------------------------------- extended Krylov *)
+
+(* The extended Krylov engine mirrors the Sample_cache column-store shape:
+   raw orthonormal columns are appended incrementally, and the operator
+   image F q of each accepted column is cached alongside so the projected
+   matrix T = Q^T F Q never recomputes a product. *)
+let extended_krylov ?(tol = 1e-10) ?(max_steps = 40) ops (b : Mat.t) =
+  if b.Mat.rows <> ops.n then
+    invalid_arg
+      "Lr_lyap.extended_krylov: right-hand side row count does not match n";
+  let n = ops.n in
+  let solves = ref 0 in
+  let stats ~steps ~columns ~residuals ~converged =
+    {
+      steps;
+      solves = !solves;
+      columns;
+      residuals = Array.of_list (List.rev residuals);
+      converged;
+    }
+  in
+  if n = 0 || b.Mat.cols = 0 then
+    ( Mat.create n 0,
+      stats ~steps:0 ~columns:0 ~residuals:[] ~converged:true )
+  else begin
+    let apply_f (m : Mat.t) = ops.solve_e (ops.mul_a m) in
+    let apply_finv (m : Mat.t) =
+      let cols = ops.solve_shift Complex.zero (ops.mul_e m) in
+      incr solves;
+      re_block n cols
+    in
+    let btil = ops.solve_e b in
+    let den = Float.max 1e-300 (low_rank_fro btil) in
+    (* Growing column stores: orthonormal basis and cached F-images. *)
+    let q_cols = ref [||] and fq_cols = ref [||] in
+    let append_orth (block : Mat.t) =
+      (* Twice-applied MGS of each column against everything accepted so
+         far; returns the indices of the newly accepted columns. *)
+      let fresh = ref [] in
+      for j = 0 to block.Mat.cols - 1 do
+        let v = Array.init n (fun i -> Mat.get block i j) in
+        let nrm0 = Vec.norm2 v in
+        for _pass = 1 to 2 do
+          Array.iter (fun q -> Vec.axpy (-.Vec.dot q v) q v) !q_cols
+        done;
+        let nrm = Vec.norm2 v in
+        if nrm > 1e-10 *. Float.max nrm0 1e-300 then begin
+          q_cols := Array.append !q_cols [| Vec.scale (1.0 /. nrm) v |];
+          fresh := (Array.length !q_cols - 1) :: !fresh
+        end
+      done;
+      List.rev !fresh
+    in
+    let cols_at idxs =
+      mat_of_cols n (Array.of_list (List.map (fun i -> !q_cols.(i)) idxs))
+    in
+    let cache_images idxs =
+      if idxs <> [] then begin
+        let imgs = apply_f (cols_at idxs) in
+        List.iteri
+          (fun j _ ->
+            fq_cols :=
+              Array.append !fq_cols
+                [| Array.init n (fun i -> Mat.get imgs i j) |])
+          idxs
+      end
+    in
+    let plus = ref (append_orth btil) in
+    cache_images !plus;
+    let minus = ref (append_orth (apply_finv btil)) in
+    cache_images !minus;
+    let residuals = ref [] in
+    let last_y = ref None and last_k = ref 0 in
+    let converged = ref false and it = ref 0 in
+    while (not !converged) && !it < max_steps && (!plus <> [] || !minus <> [])
+    do
+      incr it;
+      let k = Array.length !q_cols in
+      let qmat = mat_of_cols n !q_cols and fqmat = mat_of_cols n !fq_cols in
+      let t = Mat.mul (Mat.transpose qmat) fqmat in
+      let bhat = Mat.mul (Mat.transpose qmat) btil in
+      (match
+         Lyap.solve t (Mat.symmetrize (Mat.mul bhat (Mat.transpose bhat)))
+       with
+      | y ->
+          last_y := Some y;
+          last_k := k;
+          (* Exact residual via the Gram identity: with S = [Q, FQ, Btil]
+             and M the block matrix pairing Y against the off-diagonal,
+             ||R||_F^2 = tr((M G)^2) for G = S^T S — no n x n matrix. *)
+          let s = Mat.hcat qmat (Mat.hcat fqmat btil) in
+          let g = Mat.gram s in
+          let m = b.Mat.cols in
+          let mm = Mat.create ((2 * k) + m) ((2 * k) + m) in
+          for i = 0 to k - 1 do
+            for j = 0 to k - 1 do
+              Mat.set mm i (k + j) (Mat.get y i j);
+              Mat.set mm (k + i) j (Mat.get y i j)
+            done
+          done;
+          for i = 0 to m - 1 do
+            Mat.set mm ((2 * k) + i) ((2 * k) + i) 1.0
+          done;
+          let mg = Mat.mul mm g in
+          let tr = ref 0.0 in
+          let d = (2 * k) + m in
+          for i = 0 to d - 1 do
+            for j = 0 to d - 1 do
+              tr := !tr +. (Mat.get mg i j *. Mat.get mg j i)
+            done
+          done;
+          let rel = sqrt (Float.max 0.0 !tr) /. den in
+          residuals := rel :: !residuals;
+          if rel <= tol then converged := true
+      | exception Lyap.Unstable_pencil ->
+          (* the projected pencil can be marginally stable early on; keep
+             enlarging the space *)
+          residuals := infinity :: !residuals);
+      if not !converged then begin
+        let np = if !plus = [] then [] else append_orth (apply_f (cols_at !plus)) in
+        cache_images np;
+        let nm =
+          if !minus = [] then [] else append_orth (apply_finv (cols_at !minus))
+        in
+        cache_images nm;
+        plus := np;
+        minus := nm
+      end
+    done;
+    match !last_y with
+    | None ->
+        ( Mat.create n 0,
+          stats ~steps:!it ~columns:0 ~residuals:!residuals ~converged:false )
+    | Some y ->
+        let l = Eig_sym.psd_factor (Mat.symmetrize y) in
+        let qmat =
+          mat_of_cols n (Array.sub !q_cols 0 !last_k)
+        in
+        let z = Mat.mul qmat l in
+        ( z,
+          stats ~steps:!it ~columns:z.Mat.cols ~residuals:!residuals
+            ~converged:!converged )
+  end
+
+(* -------------------------------------------------------------- dense ops *)
+
+let ops_of_dense ~(e : Mat.t) ~(a : Mat.t) =
+  let n = a.Mat.rows in
+  if a.Mat.cols <> n || e.Mat.rows <> n || e.Mat.cols <> n then
+    invalid_arg "Lr_lyap.ops_of_dense: E and A must be square and same size";
+  let e_lu =
+    lazy
+      (try Mat.lu e
+       with Mat.Singular _ -> invalid_arg "Lr_lyap.ops_of_dense: singular E")
+  in
+  let cache : (Complex.t, Cmat.lu) Hashtbl.t = Hashtbl.create 8 in
+  let solve_shift p r =
+    (* normalise -0. so p and -(-p) share a cache slot *)
+    let p = { Complex.re = p.Complex.re +. 0.0; im = p.Complex.im +. 0.0 } in
+    let lu =
+      match Hashtbl.find_opt cache p with
+      | Some lu -> lu
+      | None ->
+          let m = Cmat.axpby_real ~alpha:p e ~beta:Complex.one a in
+          let lu = Cmat.lu m in
+          Hashtbl.add cache p lu;
+          lu
+    in
+    Array.init r.Mat.cols (fun j ->
+        Cmat.lu_solve_vec lu
+          (Array.init n (fun i -> { Complex.re = Mat.get r i j; im = 0.0 })))
+  in
+  {
+    n;
+    mul_e = Mat.mul e;
+    mul_a = Mat.mul a;
+    solve_shift;
+    solve_e = (fun r -> Mat.lu_solve (Lazy.force e_lu) r);
+  }

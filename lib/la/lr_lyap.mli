@@ -1,0 +1,137 @@
+(** Low-rank solvers for large-scale Lyapunov equations.
+
+    The dense Bartels-Stewart solver in {!Lyap} is O(n^3) and caps the
+    exact-TBR baseline at a few hundred states.  This module computes a
+    low-rank Cholesky-like factor [Z] with [X ~= Z Z^T] of the descriptor
+    Lyapunov equation
+
+    {[ A X E^T + E X A^T + B B^T = 0 ]}
+
+    from shifted solves only — the operation the sparse multi-shift
+    machinery already does fast — so exact balanced truncation scales to
+    the same sizes as PMTBR (ROADMAP item 2; Giamouzis et al.,
+    arXiv 2411.13571 / 2311.08478).
+
+    Two engines share one operator interface {!ops}:
+
+    - {!lr_adi}: the low-rank ADI iteration with real/complex-pair shift
+      handling (Benner-Kuerschner-Saak double step, so all stored columns
+      are real), Penzl-style heuristic shift selection from Ritz values
+      ({!penzl_shifts}), and low-rank residual-norm stopping — the
+      residual Gramian stays in factored form [W W^T], so its norm is a
+      small Gram computation per step.
+
+    - {!extended_krylov}: the extended (two-sided) Krylov subspace method
+      — blocks [F^k B~] and [F^{-k} B~] for [F = E^{-1} A] — holding raw
+      orthonormal columns plus cached operator images, the same
+      column-cache shape {!Pmtbr_core.Sample_cache} uses, with the small
+      projected equation solved by the dense {!Lyap} core.
+
+    The module is operator-abstract (no sparse or system dependency):
+    callers supply {!ops}; {!ops_of_dense} covers dense [(E, A)] pairs
+    and the LTI layer wires the sparse multi-shift handle in.
+
+    {b Determinism}: both engines are serial fixed-order iterations over
+    deterministic kernels, so results are bitwise-reproducible and
+    independent of any worker-pool size used by the caller around them. *)
+
+type ops = {
+  n : int;  (** state dimension *)
+  mul_e : Mat.t -> Mat.t;  (** [E * V] for dense [V] *)
+  mul_a : Mat.t -> Mat.t;  (** [A * V] *)
+  solve_shift : Complex.t -> Mat.t -> Complex.t array array;
+      (** [solve_shift p r] solves [(A + p E) X = R] for a dense real
+          right-hand side; one complex column per column of [R].  ADI
+          calls it with [Re p < 0]; shift selection and the extended
+          Krylov engine also use [p = 0] (plain [A^{-1}]). *)
+  solve_e : Mat.t -> Mat.t;  (** [E^{-1} R]; requires invertible [E] *)
+}
+(** The operator interface both engines consume.  Implementations are
+    expected to be pure in their arguments (any caching must be
+    value-transparent) so that runs are reproducible. *)
+
+val ops_of_dense : e:Mat.t -> a:Mat.t -> ops
+(** Dense implementation: one complex LU per distinct shift (cached), a
+    lazily factored real LU for [E].
+    @raise Invalid_argument on shape mismatch or singular [E] (when
+    [solve_e] is first used). *)
+
+type stop =
+  | Residual_fro
+      (** stop when [||W W^T||_F <= tol * ||B B^T||_F] — the classic
+          low-rank residual criterion, checked after every step *)
+  | Band_residual of (Complex.t * float) array
+      (** frequency-aware criterion (arXiv 2411.13571): weighted sample
+          points [(s_k, w_k)] on the imaginary axis — built from the same
+          [Sampling.Bands] machinery PMTBR uses — and the band-limited
+          residual [sqrt (sum_k w_k ||(s_k E - A)^{-1} W||_F^2)] must
+          fall below [tol] times the same functional of [B].  Checked
+          once per shift cycle (each check costs one extra solve per
+          point, through the same factor cache). *)
+
+type stats = {
+  steps : int;  (** ADI steps taken (a conjugate pair counts as 2), or
+                    extended-Krylov iterations *)
+  solves : int;  (** [solve_shift] calls (Ritz/band solves included) *)
+  columns : int;  (** columns of the returned factor [Z] *)
+  residuals : float array;
+      (** relative Frobenius residual-norm history, one entry per
+          appended block (ADI) or per iteration (extended Krylov) *)
+  converged : bool;  (** whether the stopping criterion was met *)
+}
+
+val penzl_shifts : ?num:int -> ?ritz:int -> ops -> Mat.t -> Complex.t array
+(** Penzl's heuristic ADI shifts: Ritz values of [E^{-1} A] (Arnoldi,
+    [ritz] steps, default 12) approximate the outer spectrum, reciprocal
+    Ritz values of [A^{-1} E] the inner one; the union is the candidate
+    set over which shifts are chosen greedily to minimise the maximum of
+    the ADI rational function.  At most [num] (default 16) shifts come
+    back, counting a conjugate pair as two; complex shifts are returned
+    once per pair.  Unstable Ritz values are discarded; the fallback when
+    nothing survives is the single shift [-1]. *)
+
+val band_residual : ops -> (Complex.t * float) array -> Mat.t -> float
+(** [band_residual ops pts w] is the band-limited residual functional of
+    {!Band_residual} evaluated on a factor [W] (unnormalised).
+    @raise Invalid_argument on a negative or NaN weight. *)
+
+val lr_adi :
+  ?shifts:Complex.t array ->
+  ?num_shifts:int ->
+  ?ritz:int ->
+  ?tol:float ->
+  ?max_steps:int ->
+  ?stop:stop ->
+  ?compress:float ->
+  ops ->
+  Mat.t ->
+  Mat.t * stats
+(** [lr_adi ops b] runs the low-rank ADI iteration and returns [(z, st)]
+    with [Z Z^T ~= X].  Shifts are cycled until the stopping criterion
+    ([stop], default {!Residual_fro} at [tol], default [1e-10]) is met or
+    [max_steps] (default 200) ADI steps have run; [shifts] overrides the
+    Penzl selection ({!penzl_shifts} with [num_shifts]/[ritz]).  Complex
+    shifts are processed as conjugate double steps in real arithmetic
+    (one complex solve per pair), so [z] is always real.
+
+    [compress] is a relative cutoff on the singular values of [Z]: the
+    accumulating factor is periodically recompressed to the rank above
+    the cutoff, which keeps the column count near the Gramian's numerical
+    rank on many-input systems instead of growing by [inputs] columns per
+    step.  The default [max 1e-8 (0.01 * tol)] truncates only at the Gram
+    round-off floor (a ~1e-16 relative perturbation of [Z Z^T]); pass
+    [0.] to disable compression entirely.
+    @raise Invalid_argument on a shift with [Re p >= 0], an empty shift
+    array, or a right-hand side with the wrong row count. *)
+
+val extended_krylov :
+  ?tol:float -> ?max_steps:int -> ops -> Mat.t -> Mat.t * stats
+(** [extended_krylov ops b] builds the extended Krylov subspace
+    [span {B~, F B~, F^{-1} B~, F^2 B~, ...}] for [F = E^{-1} A] and
+    [B~ = E^{-1} B], solves the projected small Lyapunov equation with
+    the dense {!Lyap} core each iteration, and stops when the true
+    residual (evaluated exactly through a small Gram identity, no
+    [n x n] matrix formed) is below [tol] (default [1e-10]) relative —
+    or after [max_steps] (default 40) iterations.  Returns [(z, st)]
+    with [Z Z^T ~= X].  Only the Frobenius criterion is supported; use
+    {!lr_adi} for band-limited stopping. *)

@@ -11,15 +11,19 @@ type factor =
   | Sym of float array * Mat.t (* eigenvalues, eigenvectors: A = V diag V^T *)
   | Gen of Cschur.t
 
-(* Decide the fast symmetric path automatically. *)
+(* Decide the fast symmetric path automatically.  The n = 0 pencil is
+   trivially (and vacuously) stable: route it through the symmetric branch
+   with an empty spectrum rather than asking the eigensolvers about it. *)
 let factor (a : Mat.t) =
-  if Mat.is_symmetric ~tol:1e-12 a then begin
+  if a.Mat.rows = 0 then Sym ([||], Mat.create 0 0)
+  else if Mat.is_symmetric ~tol:1e-12 a then begin
     let values, vectors = Eig_sym.decompose a in
     Sym (values, vectors)
   end
   else Gen (Cschur.of_real a)
 
-let factor_general (a : Mat.t) = Gen (Cschur.of_real a)
+let factor_general (a : Mat.t) =
+  if a.Mat.rows = 0 then Sym ([||], Mat.create 0 0) else Gen (Cschur.of_real a)
 
 (* Triangular solve: (t + sigma I) x = b for upper-triangular t. *)
 let tri_shifted_solve (t : Cmat.t) (sigma : Complex.t) (b : Complex.t array) =
@@ -117,6 +121,14 @@ let solve_cross (a : Mat.t) (qm : Mat.t) = solve_cross_with (factor_general a) q
 (* Residual norms, used by the tests. *)
 let lyapunov_residual a x q =
   Mat.frobenius (Mat.add (Mat.add (Mat.mul a x) (Mat.mul x (Mat.transpose a))) q)
+
+let descriptor_residual ~e ~a x q =
+  Mat.frobenius
+    (Mat.add
+       (Mat.add
+          (Mat.mul a (Mat.mul x (Mat.transpose e)))
+          (Mat.mul e (Mat.mul x (Mat.transpose a))))
+       q)
 
 let sylvester_cross_residual a x q =
   Mat.frobenius (Mat.add (Mat.add (Mat.mul a x) (Mat.mul x a)) q)

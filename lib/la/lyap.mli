@@ -44,5 +44,10 @@ val solve_cross : Mat.t -> Mat.t -> Mat.t
 val lyapunov_residual : Mat.t -> Mat.t -> Mat.t -> float
 (** Frobenius norm of [A X + X A^T + Q]; used by the tests. *)
 
+val descriptor_residual : e:Mat.t -> a:Mat.t -> Mat.t -> Mat.t -> float
+(** [descriptor_residual ~e ~a x q] is the Frobenius norm of the
+    generalised residual [A X E^T + E X A^T + Q] — what the low-rank
+    Gramian solvers drive to zero. *)
+
 val sylvester_cross_residual : Mat.t -> Mat.t -> Mat.t -> float
 (** Frobenius norm of [A X + X A + Q]. *)

@@ -173,7 +173,10 @@ let shifted_solve_hermitian sys s (r : Mat.t) =
    Only used by the exact-TBR baseline. *)
 let to_standard sys =
   let e = e_dense sys and a = a_dense sys in
-  let lu = Mat.lu e in
+  let lu =
+    try Mat.lu e
+    with Mat.Singular _ -> invalid_arg "Dss.to_standard: singular E"
+  in
   let a' = Mat.lu_solve lu a in
   let b' = Mat.lu_solve lu (b_matrix sys) in
   (a', b', c_matrix sys)

@@ -97,7 +97,8 @@ val shifted_solve_hermitian : t -> Complex.t -> Mat.t -> Complex.t array array
 
 val to_standard : t -> Mat.t * Mat.t * Mat.t
 (** [(E^{-1}A, E^{-1}B, C)]; requires invertible E.  Only used by the
-    exact-TBR baseline — PMTBR never needs it (paper Section V-A). *)
+    exact-TBR baselines — PMTBR never needs it (paper Section V-A).
+    @raise Invalid_argument when E is exactly singular. *)
 
 exception Not_rc_like
 (** Raised by {!symmetrize_rc} when E is not diagonal positive or A is not

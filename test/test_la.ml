@@ -372,6 +372,33 @@ let test_lyap_factor_reuse () =
       check_small ~tol:1e-7 "reuse residual" (Lyap.lyapunov_residual a x q))
     [ 1; 2; 3 ]
 
+let test_lyap_0x0 () =
+  (* the empty pencil must round-trip through both factor paths rather
+     than reaching the eigensolvers *)
+  let z = Mat.create 0 0 in
+  let x = Lyap.solve z z in
+  Alcotest.(check int) "rows" 0 x.Mat.rows;
+  let x = Lyap.solve_with (Lyap.factor_general z) z in
+  Alcotest.(check int) "cols" 0 x.Mat.cols
+
+let test_descriptor_residual () =
+  (* direct check that the generalised residual A X E^T + E X A^T + B B^T
+     is driven to zero when X comes from the transformed standard equation
+     F X + X F^T + (E^{-1}B)(E^{-1}B)^T = 0 with F = E^{-1}A *)
+  let n = 10 in
+  let a = random_stable_nonsym ~seed:17 n in
+  let e0 = Mat.random ~seed:19 n n in
+  let e =
+    Mat.add (Mat.scale (1.0 /. float_of_int n) (Mat.mul e0 (Mat.transpose e0))) (Mat.identity n)
+  in
+  let b = Mat.random ~seed:23 n 2 in
+  let lu = Mat.lu e in
+  let f = Mat.lu_solve lu a and btil = Mat.lu_solve lu b in
+  let x = Lyap.solve_with (Lyap.factor_general f) (Mat.symmetrize (Mat.mul btil (Mat.transpose btil))) in
+  let q = Mat.mul b (Mat.transpose b) in
+  check_small ~tol:(1e-7 *. Mat.frobenius q) "descriptor residual"
+    (Lyap.descriptor_residual ~e ~a x q)
+
 let test_sylvester_cross () =
   let a = random_stable_nonsym 9 in
   let b = Mat.random ~seed:127 9 1 in
@@ -636,6 +663,8 @@ let () =
           Alcotest.test_case "symmetric" `Quick test_lyap_symmetric;
           Alcotest.test_case "general" `Quick test_lyap_general;
           Alcotest.test_case "1x1" `Quick test_lyap_1x1;
+          Alcotest.test_case "0x0" `Quick test_lyap_0x0;
+          Alcotest.test_case "descriptor residual" `Quick test_descriptor_residual;
           Alcotest.test_case "factor reuse" `Quick test_lyap_factor_reuse;
           Alcotest.test_case "sylvester cross" `Quick test_sylvester_cross;
           Alcotest.test_case "cross = lyap when symmetric" `Quick test_cross_gramian_symmetric_case;
