@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-adaptive bench-variants bench-dense bench-sweep bench-lyap clean
+.PHONY: all build test check bench bench-adaptive bench-variants bench-dense bench-sweep bench-lyap bench-serve clean
 
 all: build
 
@@ -48,6 +48,13 @@ bench-sweep:
 # bitwise worker-invariance, or more than one symbolic analysis is paid)
 bench-lyap:
 	dune exec bench/lyap_bench.exe
+
+# regenerate BENCH_serve.json (fails if a warm repeat query through the
+# daemon drops below 10x over the cold path, any incremental job misses
+# its tier or re-pays solves/symbolic analyses, or a warm-path ROM is
+# not bitwise-identical to the cold-path one)
+bench-serve:
+	dune exec bench/serve_bench.exe
 
 clean:
 	dune clean

@@ -104,6 +104,8 @@ let json_of_results results =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
   Buffer.add_string buf "  \"substrates\": [\n";
   List.iteri
     (fun i (name, states, points, base_s, runs) ->

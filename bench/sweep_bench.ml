@@ -127,7 +127,10 @@ let bench_case ~name ~sys ~omegas ~workers ~reps ~tol =
 
 let json_of_records records =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"cases\": [\n";
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string buf "    {\n";

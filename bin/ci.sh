@@ -29,4 +29,34 @@ OCAMLRUNPARAM=b dune exec bench/sweep_bench.exe -- --smoke
 echo "== low-rank Lyapunov smoke bench (LR-ADI vs dense agreement + handle reuse)"
 OCAMLRUNPARAM=b dune exec bench/lyap_bench.exe -- --smoke
 
+echo "== reduction-service smoke bench (warm/cold gate + tier counters + bitwise identity)"
+OCAMLRUNPARAM=b dune exec bench/serve_bench.exe -- --smoke
+
+echo "== reduction-service daemon round trip (pmtbr serve / pmtbr batch)"
+SOCK=".ci_serve_$$.sock"
+SERVE_PID=""
+# a killed CI run must not leave a daemon or a stale socket behind
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -f "$SOCK"
+}
+trap cleanup EXIT INT TERM
+dune exec bin/pmtbr_cli.exe -- serve --socket "$SOCK" --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "daemon socket never appeared" >&2; exit 1; }
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --ping
+# cold + warm repeats of one job: digests must agree, warm must be faster
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6 \
+    --band 0:2e10 --order 8 --samples 10 --repeat 3 --assert-warm-speedup 2
+# incremental: new band on the same network reuses the prepared handle
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6 \
+    --band 1e8:1e10 --order 8 --samples 10
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --server-stats
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+if [ -S "$SOCK" ]; then echo "daemon left its socket behind" >&2; exit 1; fi
+
 echo "CI OK"

@@ -132,12 +132,15 @@ let workers_opt w =
   Par_kernel.set_default_workers w;
   w
 
+(* The converter validates at the edge (finite, 0 <= lo < hi) through the
+   same routine the serve protocol applies to band fields, so a reversed,
+   negative, zero-width or NaN band is a usage error with a clear message
+   instead of a garbage sampling grid. *)
 let band_arg =
   let parse s =
-    match String.split_on_char ':' s with
-    | [ lo; hi ] -> (
-        try Ok (float_of_string lo, float_of_string hi) with Failure _ -> Error (`Msg "bad band"))
-    | _ -> Error (`Msg "expected LO:HI in rad/s")
+    match Pmtbr_serve.Protocol.parse_band s with
+    | Ok band -> Ok band
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf (lo, hi) = Format.fprintf ppf "%g:%g" lo hi in
   Arg.(
@@ -574,10 +577,170 @@ let export_cmd =
     Term.(const run_export $ circuit_arg $ size_arg $ ports_arg $ seed_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / batch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sproto = Pmtbr_serve.Protocol
+module Sserver = Pmtbr_serve.Server
+module Sclient = Pmtbr_serve.Client
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string ".pmtbr.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the reduction daemon.")
+
+let run_serve socket workers job_workers max_cost_mb =
+  let workers = max 1 workers in
+  let config =
+    {
+      (Sserver.default_config ~socket_path:socket) with
+      Sserver.workers;
+      job_workers = max 1 job_workers;
+      max_cost = max 1 max_cost_mb * 1024 * 1024;
+    }
+  in
+  Printf.printf "pmtbr serve: listening on %s (%d connection workers)\n%!" socket workers;
+  Sserver.run config;
+  Printf.printf "pmtbr serve: stopped\n%!"
+
+let serve_cmd =
+  let doc = "Run the reduction daemon (jobs over a Unix socket, content-addressed store)." in
+  let serve_workers =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "j"; "workers" ] ~docv:"W"
+          ~doc:
+            "Connection-handling worker domains.  Concurrent jobs are scheduled across them; \
+             every job still produces a bitwise-identical model for any worker count.")
+  in
+  let job_workers =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "job-workers" ] ~docv:"W"
+          ~doc:"Solver/dense-kernel domains used inside each job (results are invariant).")
+  in
+  let max_cost =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "store-mb" ] ~docv:"MB" ~doc:"Approximate store budget in MiB (LRU-evicted).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ socket_arg $ serve_workers $ job_workers $ max_cost)
+
+let serve_method_arg =
+  let doc =
+    Printf.sprintf "Reduction method served by the daemon (%s)."
+      (String.concat ", " (List.map fst Sproto.meth_names))
+  in
+  Arg.(value & opt (enum Sproto.meth_names) Sproto.Pmtbr & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let read_text_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let require_ok what = function
+  | Ok v -> v
+  | Error msg -> failwith (what ^ ": " ^ msg)
+
+let print_fields r = List.iter (fun (k, v) -> Printf.printf "%-14s %s\n" k v) r.Sproto.fields
+
+(* One round trip that fails loudly on transport errors and surfaces the
+   server-side error message verbatim. *)
+let roundtrip conn req =
+  let r = require_ok "request failed" (Sclient.request conn req) in
+  (match r.Sproto.status with Ok () -> () | Error msg -> failwith ("server error: " ^ msg));
+  r
+
+let run_batch socket ping server_stats shutdown circuit spice size ports seed meth band tol
+    order samples repeat assert_warm =
+  Sclient.with_connection socket (fun conn ->
+      if ping then print_fields (roundtrip conn Sproto.Ping)
+      else if server_stats then print_fields (roundtrip conn Sproto.Stats)
+      else if shutdown then print_fields (roundtrip conn Sproto.Shutdown)
+      else begin
+        let netlist =
+          match (circuit, spice) with
+          | Some c, None -> Pmtbr_circuit.Spice.to_string (build_netlist c ~size ~ports ~seed)
+          | None, Some path -> read_text_file path
+          | Some _, Some _ -> failwith "give either --circuit or --spice, not both"
+          | None, None -> failwith "one of --circuit or --spice is required"
+        in
+        let band =
+          match band with
+          | Some b -> require_ok "bad band" (Sproto.validate_band b)
+          | None -> failwith "--band LO:HI is required for batch jobs"
+        in
+        let job = Sproto.Reduce { Sproto.meth; band; tol; order; samples; netlist } in
+        let repeat = max 1 repeat in
+        let walls = Array.make repeat 0.0 in
+        let digest = ref "" in
+        for i = 0 to repeat - 1 do
+          let r = roundtrip conn job in
+          let get k = Option.value (Sproto.field r k) ~default:"?" in
+          walls.(i) <- float_of_string (get "wall_us") /. 1e6;
+          (* every repeat must return the identical model: the store's
+             bitwise-determinism contract, checked end to end *)
+          let d = get "digest" in
+          if !digest = "" then digest := d
+          else if d <> !digest then
+            failwith (Printf.sprintf "digest drift on repeat %d: %s <> %s" (i + 1) d !digest);
+          Printf.printf "job %-2d tier=%-12s states=%s order=%s solves=%s wall=%.6fs\n" (i + 1)
+            (get "tier") (get "states") (get "order") (get "solves") walls.(i)
+        done;
+        if repeat > 1 then begin
+          let warm = Array.sub walls 1 (repeat - 1) in
+          Array.sort compare warm;
+          let speedup = walls.(0) /. Float.max warm.(0) 1e-9 in
+          Printf.printf "cold %.6fs, best warm %.6fs: %.1fx\n" walls.(0) warm.(0) speedup;
+          match assert_warm with
+          | Some want when speedup < want ->
+              failwith (Printf.sprintf "warm speedup %.1fx below required %.1fx" speedup want)
+          | _ -> ()
+        end
+        else if assert_warm <> None then
+          failwith "--assert-warm-speedup needs --repeat >= 2"
+      end)
+
+let batch_cmd =
+  let doc = "Submit reduction jobs to a running daemon (or ping / stats / shutdown it)." in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Just ping the daemon.") in
+  let stats = Arg.(value & flag & info [ "server-stats" ] ~doc:"Print the store counters.") in
+  let shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to stop.") in
+  let repeat =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Submit the same job N times; repeats must return a bitwise-identical model \
+             (digests are compared) and warm timings are reported against the first run.")
+  in
+  let assert_warm =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "assert-warm-speedup" ] ~docv:"X"
+          ~doc:"Fail unless the best warm repeat is at least X times faster than the first run.")
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run_batch $ socket_arg $ ping $ stats $ shutdown $ circuit_arg $ spice_arg
+      $ size_arg $ ports_arg $ seed_arg $ serve_method_arg $ band_arg $ tol_arg $ order_arg
+      $ samples_arg $ repeat $ assert_warm)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Poor Man's TBR: model order reduction for circuit parasitics" in
   let info = Cmd.info "pmtbr" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ info_cmd; hsv_cmd; reduce_cmd; adaptive_cmd; sweep_cmd; export_cmd ]))
+       (Cmd.group info
+          [ info_cmd; hsv_cmd; reduce_cmd; adaptive_cmd; sweep_cmd; export_cmd; serve_cmd;
+            batch_cmd ]))

@@ -37,19 +37,27 @@ let parse_value ~line s =
     try float_of_string num
     with Failure _ -> raise (Parse_error (line, "bad numeric value: " ^ s))
   in
+  (* SPICE value semantics: the scale factor is the longest recognized
+     prefix of the suffix ("meg" before "m"), and any trailing alphabetic
+     unit text is ignored — "10kohm" is 10e3, "1pF" is 1e-12, "100MEGHz"
+     is 100e6, and a bare unit like "5ohm" scales by 1.  Non-alphabetic
+     trailing garbage is still a parse error. *)
   let scale =
-    match suffix with
-    | "" -> 1.0
-    | "f" -> 1e-15
-    | "p" -> 1e-12
-    | "n" -> 1e-9
-    | "u" -> 1e-6
-    | "m" -> 1e-3
-    | "k" -> 1e3
-    | "meg" -> 1e6
-    | "g" -> 1e9
-    | "t" -> 1e12
-    | _ -> raise (Parse_error (line, "unknown unit suffix: " ^ suffix))
+    if suffix = "" then 1.0
+    else if not (String.for_all (fun c -> c >= 'a' && c <= 'z') suffix) then
+      raise (Parse_error (line, "unknown unit suffix: " ^ suffix))
+    else if String.length suffix >= 3 && String.sub suffix 0 3 = "meg" then 1e6
+    else
+      match suffix.[0] with
+      | 'f' -> 1e-15
+      | 'p' -> 1e-12
+      | 'n' -> 1e-9
+      | 'u' -> 1e-6
+      | 'm' -> 1e-3
+      | 'k' -> 1e3
+      | 'g' -> 1e9
+      | 't' -> 1e12
+      | _ -> 1.0
   in
   base *. scale
 

@@ -14,7 +14,26 @@ let default_workers () =
   | Some w -> w
   | None -> Domain.recommended_domain_count ()
 
-let set_default_workers w = installed_workers := w
+(* A requested multi-worker pool that silently runs on one domain is how
+   benchmark numbers lie (every BENCH_* reporting actual_workers: 1 on a
+   one-core host).  Warn once per process, on stderr, so the collapse is
+   visible without changing any result. *)
+let collapse_warned = Atomic.make false
+
+let warn_worker_collapse ~context ~requested =
+  if requested > 1 && not (Atomic.exchange collapse_warned true) then
+    Printf.eprintf
+      "pmtbr: warning: %s requested %d workers but this host recommends only %d domain(s); \
+       the pool collapses to 1 and timings are effectively serial (results are unchanged)\n%!"
+      context requested
+      (Domain.recommended_domain_count ())
+
+let set_default_workers w =
+  (match w with
+  | Some r when r > 1 && Domain.recommended_domain_count () = 1 ->
+      warn_worker_collapse ~context:"the dense-kernel pool" ~requested:r
+  | Some _ | None -> ());
+  installed_workers := w
 
 (* Minimum scalar-op count before a kernel spawns domains at all: below
    this the spawn/join overhead dwarfs the loop.  A shape-only cutover —

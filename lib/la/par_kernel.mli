@@ -30,7 +30,17 @@ val set_default_workers : int option -> unit
 (** Install a process-wide default worker count for all kernels ([None]
     restores the hardware default).  The CLI [--workers] flag routes
     through here so one flag covers both the solve and reduction stages.
-    Results are bitwise-identical for any setting. *)
+    Results are bitwise-identical for any setting.  Installing a
+    multi-worker default on a host whose
+    [Domain.recommended_domain_count] is 1 triggers
+    {!warn_worker_collapse}. *)
+
+val warn_worker_collapse : context:string -> requested:int -> unit
+(** Emit a one-line [stderr] warning (once per process) that a pool
+    [requested > 1] workers but is running on a single domain — the
+    silent-collapse case where parallel timings are really serial.
+    Results are never affected; callers invoke this only after deciding
+    the pool really did collapse. *)
 
 val parallel_ranges : ?workers:int -> work:int -> int -> (int -> int -> unit) -> unit
 (** [parallel_ranges ~work n f] partitions [0..n-1] into at most [workers]

@@ -1,0 +1,29 @@
+(* Blocking client connection: one request frame out, one response frame
+   back, over buffered channels on the connected socket. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request t req =
+  match
+    Protocol.write_frame t.oc (Protocol.encode_request req);
+    Protocol.read_frame t.ic
+  with
+  | Ok payload -> Protocol.parse_response payload
+  | Error e -> Error (Protocol.frame_error_message e)
+  | exception (Sys_error msg | Failure msg) -> Error ("transport failure: " ^ msg)
+  | exception Unix.Unix_error (err, _, _) ->
+      Error ("transport failure: " ^ Unix.error_message err)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,19 @@
+(** Client side of the reduction service: a connection to the daemon's
+    Unix socket carrying {!Protocol} frames.  Used by the [pmtbr batch]
+    CLI, the serve bench and the end-to-end tests. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon at the given socket path.
+    @raise Unix.Unix_error when the daemon is not there. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One round trip: send the request frame, read the response frame.
+    [Error] carries a transport- or framing-level failure (a server-side
+    job failure comes back as [Ok r] with [r.status = Error _]). *)
+
+val close : t -> unit
+
+val with_connection : string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exception). *)

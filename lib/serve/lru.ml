@@ -1,0 +1,84 @@
+(* Size-bounded LRU map: hash table for lookup, intrusive doubly-linked
+   list for recency.  All operations are O(1) except the eviction sweep,
+   which removes one tail node per step.  Not domain-safe by itself — the
+   store serialises access under its own lock. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  cost : int;
+  mutable prev : 'a node option; (* towards MRU *)
+  mutable next : 'a node option; (* towards LRU *)
+}
+
+type 'a t = {
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most recently used *)
+  mutable tail : 'a node option; (* least recently used *)
+  mutable total : int;
+  max_cost : int;
+  on_evict : string -> 'a -> unit;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~max_cost () =
+  if max_cost < 0 then invalid_arg "Lru.create: max_cost must be >= 0";
+  { tbl = Hashtbl.create 64; head = None; tail = None; total = 0; max_cost; on_evict }
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let drop ?(notify = true) t node =
+  unlink t node;
+  Hashtbl.remove t.tbl node.key;
+  t.total <- t.total - node.cost;
+  if notify then t.on_evict node.key node.value
+
+let remove t key = match Hashtbl.find_opt t.tbl key with Some n -> drop t n | None -> ()
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let mem t key = Hashtbl.mem t.tbl key
+
+(* Evict from the tail until the budget fits, never touching [keep]: the
+   entry just inserted must land even when it alone exceeds the budget. *)
+let rec enforce t ~keep =
+  if t.total > t.max_cost then
+    match t.tail with
+    | Some node when node != keep ->
+        drop t node;
+        enforce t ~keep
+    | Some _ | None -> ()
+
+let add t key ~cost v =
+  if cost < 0 then invalid_arg "Lru.add: cost must be >= 0";
+  remove t key;
+  let node = { key; value = v; cost; prev = None; next = None } in
+  Hashtbl.replace t.tbl key node;
+  push_front t node;
+  t.total <- t.total + cost;
+  enforce t ~keep:node
+
+let length t = Hashtbl.length t.tbl
+let total_cost t = t.total
+
+let keys t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.key :: acc) node.next
+  in
+  walk [] t.head

@@ -1,0 +1,36 @@
+(** Size-bounded LRU map with string keys — the one eviction structure
+    shared by every tier of the {!Store} (parsed networks, sample caches,
+    finished ROMs all live in a single budget).
+
+    Each entry carries a caller-supplied {e cost} (an approximate byte
+    count); inserting past the budget evicts least-recently-used entries
+    until the total fits again.  {!find} counts as a use.  The entry being
+    inserted is never evicted by its own insertion, so a single oversized
+    entry still lands (and simply has the cache to itself). *)
+
+type 'a t
+
+val create : ?on_evict:(string -> 'a -> unit) -> max_cost:int -> unit -> 'a t
+(** Empty cache with the given budget (arbitrary cost units, [>= 0]).
+    [on_evict] is called on every evicted or replaced binding, after it
+    has been removed. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit moves the entry to most-recently-used. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency. *)
+
+val add : 'a t -> string -> cost:int -> 'a -> unit
+(** Insert or replace (replacement fires [on_evict] for the old binding),
+    mark most-recently-used, then evict LRU entries until the total cost
+    fits the budget (the new entry itself is exempt). *)
+
+val remove : 'a t -> string -> unit
+(** Drop a binding if present (fires [on_evict]). *)
+
+val length : 'a t -> int
+val total_cost : 'a t -> int
+
+val keys : 'a t -> string list
+(** Keys from most- to least-recently used. *)

@@ -1,0 +1,250 @@
+(* Wire protocol: decimal length prefix + newline + payload; payloads are
+   header lines, a blank line, then an opaque body.  Everything here is
+   pure string transformation apart from the two channel helpers, so the
+   tests exercise framing and parsing without a socket. *)
+
+let default_max_frame = 8 * 1024 * 1024
+let length_digits = 12
+
+type frame_error = Eof | Malformed of string | Oversized of int
+
+let frame_error_message = function
+  | Eof -> "end of stream"
+  | Malformed msg -> "malformed frame: " ^ msg
+  | Oversized n -> Printf.sprintf "oversized frame: %d bytes" n
+
+let write_frame oc payload =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  flush oc
+
+let read_frame ?(max_bytes = default_max_frame) ic =
+  (* length line: bare digits, newline-terminated, bounded *)
+  let buf = Buffer.create 16 in
+  let rec length_line first =
+    match input_char ic with
+    | '\n' ->
+        if Buffer.length buf = 0 then Error (Malformed "empty length line")
+        else Ok (Buffer.contents buf)
+    | '0' .. '9' as c ->
+        if Buffer.length buf >= length_digits then
+          Error (Malformed "length prefix too long")
+        else begin
+          Buffer.add_char buf c;
+          length_line false
+        end
+    | c -> Error (Malformed (Printf.sprintf "unexpected byte %C in length prefix" c))
+    | exception End_of_file ->
+        if first then Error Eof else Error (Malformed "stream ended inside length prefix")
+  in
+  match length_line true with
+  | Error _ as e -> e
+  | Ok digits -> (
+      match int_of_string_opt digits with
+      | None -> Error (Malformed "unparsable length prefix")
+      | Some len when len > max_bytes -> Error (Oversized len)
+      | Some len -> (
+          try Ok (really_input_string ic len)
+          with End_of_file -> Error (Malformed "stream ended inside payload")))
+
+(* ------------------------------------------------------------------ *)
+(* Band validation (shared with the CLI --band converter)              *)
+(* ------------------------------------------------------------------ *)
+
+let validate_band (lo, hi) =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    Error (Printf.sprintf "band endpoints must be finite (got %g:%g)" lo hi)
+  else if lo < 0.0 then Error (Printf.sprintf "band low edge must be >= 0 (got %g)" lo)
+  else if not (lo < hi) then
+    Error (Printf.sprintf "band must satisfy LO < HI (got %g:%g)" lo hi)
+  else Ok (lo, hi)
+
+let parse_band s =
+  match String.split_on_char ':' s with
+  | [ lo; hi ] -> (
+      match (float_of_string_opt (String.trim lo), float_of_string_opt (String.trim hi)) with
+      | Some lo, Some hi -> validate_band (lo, hi)
+      | _ -> Error (Printf.sprintf "expected LO:HI in rad/s (got %S)" s))
+  | _ -> Error (Printf.sprintf "expected LO:HI in rad/s (got %S)" s)
+
+(* ------------------------------------------------------------------ *)
+(* Payload structure: header lines, blank line, body                   *)
+(* ------------------------------------------------------------------ *)
+
+let split_payload payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some _ -> (
+      (* headers end at the first empty line *)
+      let rec find_break from =
+        match String.index_from_opt payload from '\n' with
+        | None -> None
+        | Some i ->
+            if i + 1 < String.length payload && payload.[i + 1] = '\n' then Some (i + 1)
+            else if i = from then Some i (* payload starts with a blank line *)
+            else find_break (i + 1)
+      in
+      match find_break 0 with
+      | None -> (payload, "")
+      | Some i ->
+          ( String.sub payload 0 (max 0 (i - 1)),
+            String.sub payload (i + 1) (String.length payload - i - 1) ))
+
+let header_lines headers =
+  String.split_on_char '\n' headers
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match String.index_opt line ' ' with
+           | None -> Some (line, "")
+           | Some i ->
+               Some
+                 ( String.sub line 0 i,
+                   String.trim (String.sub line (i + 1) (String.length line - i - 1)) ))
+
+let render lines body =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      if v <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf v
+      end;
+      Buffer.add_char buf '\n')
+    lines;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type meth = Pmtbr | Fs_pmtbr
+
+let meth_names = [ ("pmtbr", Pmtbr); ("fs-pmtbr", Fs_pmtbr) ]
+let meth_name m = fst (List.find (fun (_, m') -> m' = m) meth_names)
+
+type job = {
+  meth : meth;
+  band : float * float;
+  tol : float option;
+  order : int option;
+  samples : int;
+  netlist : string;
+}
+
+let default_samples = 30
+
+type request = Reduce of job | Ping | Stats | Shutdown
+
+let encode_request = function
+  | Ping -> render [ ("job", "ping") ] ""
+  | Stats -> render [ ("job", "stats") ] ""
+  | Shutdown -> render [ ("job", "shutdown") ] ""
+  | Reduce j ->
+      let lo, hi = j.band in
+      let lines =
+        [ ("job", "reduce"); ("method", meth_name j.meth);
+          ("band", Printf.sprintf "%.17g:%.17g" lo hi) ]
+        @ (match j.tol with Some t -> [ ("tol", Printf.sprintf "%.17g" t) ] | None -> [])
+        @ (match j.order with Some q -> [ ("order", string_of_int q) ] | None -> [])
+        @ [ ("samples", string_of_int j.samples) ]
+      in
+      render lines j.netlist
+
+let parse_reduce kvs body =
+  let lookup k = List.assoc_opt k kvs in
+  let ( let* ) = Result.bind in
+  let* meth =
+    match lookup "method" with
+    | None -> Ok Pmtbr
+    | Some name -> (
+        match List.assoc_opt name meth_names with
+        | Some m -> Ok m
+        | None ->
+            Error
+              (Printf.sprintf "unknown method %S (expected %s)" name
+                 (String.concat ", " (List.map fst meth_names))))
+  in
+  let* band =
+    match lookup "band" with
+    | None -> Error "reduce job is missing the band field"
+    | Some s -> parse_band s
+  in
+  let* tol =
+    match lookup "tol" with
+    | None -> Ok None
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when Float.is_finite t && t > 0.0 -> Ok (Some t)
+        | Some t -> Error (Printf.sprintf "tol must be finite and > 0 (got %g)" t)
+        | None -> Error (Printf.sprintf "unparsable tol %S" s))
+  in
+  let* order =
+    match lookup "order" with
+    | None -> Ok None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some q when q >= 1 -> Ok (Some q)
+        | Some q -> Error (Printf.sprintf "order must be >= 1 (got %d)" q)
+        | None -> Error (Printf.sprintf "unparsable order %S" s))
+  in
+  let* samples =
+    match lookup "samples" with
+    | None -> Ok default_samples
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 && n <= 100_000 -> Ok n
+        | Some n -> Error (Printf.sprintf "samples must be in [1, 100000] (got %d)" n)
+        | None -> Error (Printf.sprintf "unparsable samples %S" s))
+  in
+  if String.trim body = "" then Error "reduce job is missing the netlist body"
+  else Ok (Reduce { meth; band; tol; order; samples; netlist = body })
+
+let parse_request payload =
+  let headers, body = split_payload payload in
+  let kvs = header_lines headers in
+  match List.assoc_opt "job" kvs with
+  | None -> Error "first header must be a job line"
+  | Some "ping" -> Ok Ping
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some "reduce" -> parse_reduce kvs body
+  | Some other -> Error (Printf.sprintf "unknown job kind %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type response = {
+  status : (unit, string) result;
+  fields : (string * string) list;
+  body : string;
+}
+
+let ok ?(fields = []) ?(body = "") () = { status = Ok (); fields; body }
+let error msg = { status = Error msg; fields = []; body = "" }
+
+(* error text rides in its own header; newlines would break the line
+   structure, so they are flattened *)
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let encode_response r =
+  match r.status with
+  | Ok () -> render (("status", "ok") :: r.fields) r.body
+  | Error msg -> render [ ("status", "error"); ("error", one_line msg) ] r.body
+
+let parse_response payload =
+  let headers, body = split_payload payload in
+  match header_lines headers with
+  | ("status", "ok") :: fields -> Ok { status = Ok (); fields; body }
+  | ("status", "error") :: fields ->
+      let msg = Option.value (List.assoc_opt "error" fields) ~default:"unknown error" in
+      Ok { status = Error msg; fields; body }
+  | _ -> Error "response must start with a status line"
+
+let field r k = List.assoc_opt k r.fields

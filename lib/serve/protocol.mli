@@ -1,0 +1,92 @@
+(** Wire protocol of the reduction service: length-prefixed frames over a
+    Unix-domain stream socket, each frame a line-oriented payload.
+
+    {b Framing.}  A frame is the ASCII decimal byte length of the payload,
+    a newline, then exactly that many payload bytes.  The length line is
+    capped at {!length_digits} digits and payloads at a caller-chosen
+    [max_bytes], so a malformed or hostile peer fails fast with a protocol
+    error instead of a blown buffer.
+
+    {b Payload.}  Headers are lines of [key SP value]; an empty line
+    terminates them and everything after it is the opaque body (a request
+    carries the inline netlist text there).  The first header line names
+    the frame kind ([job reduce], [job ping], ...; [status ok] /
+    [status error] for responses). *)
+
+val default_max_frame : int
+(** Default payload cap: 8 MiB. *)
+
+val length_digits : int
+(** Maximum digits accepted in the length prefix (12). *)
+
+type frame_error =
+  | Eof  (** clean end of stream before a length byte *)
+  | Malformed of string  (** bad length line or truncated payload *)
+  | Oversized of int  (** declared payload length beyond [max_bytes] *)
+
+val frame_error_message : frame_error -> string
+
+val write_frame : out_channel -> string -> unit
+(** Write one frame (length prefix + payload) and flush. *)
+
+val read_frame : ?max_bytes:int -> in_channel -> (string, frame_error) result
+(** Read one frame; never reads past it. *)
+
+(** {1 Band validation}
+
+    Shared by the CLI [--band] converter and the serve protocol: both
+    reject reversed, negative, zero-width and non-finite bands at the edge
+    instead of failing deep inside [Sampling.Bands]. *)
+
+val validate_band : float * float -> (float * float, string) result
+(** Require finite [0 <= lo < hi]. *)
+
+val parse_band : string -> (float * float, string) result
+(** Parse ["LO:HI"] (rad/s) and validate. *)
+
+(** {1 Requests} *)
+
+type meth = Pmtbr | Fs_pmtbr
+
+val meth_names : (string * meth) list
+val meth_name : meth -> string
+
+type job = {
+  meth : meth;
+  band : float * float;  (** validated: finite [0 <= lo < hi] *)
+  tol : float option;  (** singular-value tail tolerance, finite [> 0] *)
+  order : int option;  (** explicit reduced order, [>= 1] *)
+  samples : int;  (** frequency points, [>= 1] (default {!default_samples}) *)
+  netlist : string;  (** inline SPICE-dialect netlist text *)
+}
+
+val default_samples : int
+
+type request =
+  | Reduce of job
+  | Ping
+  | Stats  (** store counters snapshot *)
+  | Shutdown
+
+val encode_request : request -> string
+val parse_request : string -> (request, string) result
+(** Parsing validates every field (unknown job kind or method, bad band,
+    non-positive tolerance/order/samples, missing netlist) and returns a
+    human-readable error for the error response. *)
+
+(** {1 Responses} *)
+
+type response = {
+  status : (unit, string) result;  (** [Error msg] carries the failure *)
+  fields : (string * string) list;  (** informational key/value pairs *)
+  body : string;  (** opaque payload (empty for all current responses) *)
+}
+
+val ok : ?fields:(string * string) list -> ?body:string -> unit -> response
+val error : string -> response
+
+val encode_response : response -> string
+val parse_response : string -> (response, string) result
+
+val field : response -> string -> string option
+(** First value bound to a key, if any. *)

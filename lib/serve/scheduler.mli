@@ -1,0 +1,18 @@
+(** Fixed pool of worker domains draining a shared job queue — how the
+    server fans concurrent connections across the machine while each job
+    keeps the bitwise worker-invariance contract (the result of a job
+    never depends on which worker ran it, or when). *)
+
+type 'a t
+
+val create : workers:int -> ('a -> unit) -> 'a t
+(** Spawn [max 1 workers] domains running the handler on submitted jobs.
+    A handler exception is logged and the worker keeps going. *)
+
+val submit : 'a t -> 'a -> bool
+(** Enqueue a job; [false] if the pool is already stopping (the job is
+    dropped). *)
+
+val stop : 'a t -> unit
+(** Drain outstanding jobs, then join every worker.  Idempotent in effect;
+    must be called from the domain that owns the pool. *)

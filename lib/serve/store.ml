@@ -1,0 +1,334 @@
+(* Content-addressed model store.  See the interface for the tier layout
+   and the determinism argument; the load-bearing choices are:
+
+   - The canonical address is the hash of the *re-rendered* parse, so two
+     texts that stamp the same network share every tier.
+
+   - The network tier's multi-shift handle is built with the canonical
+     default template shift, never a job's first sample point: the handle
+     (and hence every solved column downstream) is a function of the
+     network alone, which is what makes a warm-path ROM bitwise-identical
+     to the cold-path one for any job history.
+
+   - Sample caches are always extended with the whole point set in one
+     batch, so a cache built on a warm network holds exactly the columns a
+     cold run would have produced.
+
+   - Locking: [t.lock] (innermost) guards the LRU and counters only;
+     [network.lock] (outermost) serialises cache construction and use per
+     network.  Nothing acquires [network.lock] while holding [t.lock], so
+     the order is acyclic. *)
+
+open Pmtbr_core
+open Pmtbr_lti
+
+type network = { sys : Dss.t; ms : Dss.multi_shift; lock : Mutex.t }
+
+type samples_entry = { cache : Sample_cache.t }
+
+type rom_entry = {
+  r_rom : Dss.t;
+  r_order : int;
+  r_sigma : float array;
+  r_digest : string;
+}
+
+type entry = Network of network | Samples of samples_entry | Rom of rom_entry
+
+type mutable_counters = {
+  mutable c_jobs : int;
+  mutable c_rom_hits : int;
+  mutable c_samples_hits : int;
+  mutable c_network_hits : int;
+  mutable c_misses : int;
+  mutable c_parses : int;
+  mutable c_symbolic : int;
+  mutable c_solves : int;
+  mutable c_evictions : int;
+}
+
+type t = {
+  lru : entry Lru.t;
+  lock : Mutex.t;
+  ctr : mutable_counters;
+  job_workers : int;
+}
+
+let create ?(max_cost = 256 * 1024 * 1024) ?(job_workers = 1) () =
+  let ctr =
+    {
+      c_jobs = 0;
+      c_rom_hits = 0;
+      c_samples_hits = 0;
+      c_network_hits = 0;
+      c_misses = 0;
+      c_parses = 0;
+      c_symbolic = 0;
+      c_solves = 0;
+      c_evictions = 0;
+    }
+  in
+  (* on_evict runs inside Lru.add, which the store only calls under
+     [t.lock] — the counter bump is already serialised *)
+  let lru = Lru.create ~on_evict:(fun _ _ -> ctr.c_evictions <- ctr.c_evictions + 1) ~max_cost ()
+  in
+  { lru; lock = Mutex.create (); ctr; job_workers = max 1 job_workers }
+
+type tier = Rom_hit | Samples_hit | Network_hit | Miss
+
+let tier_name = function
+  | Rom_hit -> "rom-hit"
+  | Samples_hit -> "samples-hit"
+  | Network_hit -> "network-hit"
+  | Miss -> "miss"
+
+type outcome = {
+  rom : Dss.t;
+  states : int;
+  order : int;
+  singular_values : float array;
+  tier : tier;
+  hash : string;
+  digest : string;
+  job_solves : int;
+  wall_s : float;
+}
+
+type counters = {
+  jobs : int;
+  rom_hits : int;
+  samples_hits : int;
+  network_hits : int;
+  misses : int;
+  parses : int;
+  symbolic : int;
+  solves : int;
+  evictions : int;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let counters t =
+  with_lock t.lock (fun () ->
+      {
+        jobs = t.ctr.c_jobs;
+        rom_hits = t.ctr.c_rom_hits;
+        samples_hits = t.ctr.c_samples_hits;
+        network_hits = t.ctr.c_network_hits;
+        misses = t.ctr.c_misses;
+        parses = t.ctr.c_parses;
+        symbolic = t.ctr.c_symbolic;
+        solves = t.ctr.c_solves;
+        evictions = t.ctr.c_evictions;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Content addressing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let canonicalize text =
+  match Pmtbr_circuit.Spice.parse_string text with
+  | parsed ->
+      let nl = Pmtbr_circuit.Spice.netlist parsed in
+      if Pmtbr_circuit.Netlist.port_count nl < 1 then
+        Error "netlist declares no .port — a reduction job needs at least one"
+      else if Pmtbr_circuit.Netlist.node_count nl < 1 then
+        Error "netlist has no internal nodes"
+      else Ok (nl, Pmtbr_circuit.Spice.to_string nl)
+  | exception Pmtbr_circuit.Spice.Parse_error (line, msg) ->
+      Error (Printf.sprintf "netlist parse error at line %d: %s" line msg)
+
+let hash_of_canonical canonical = Digest.to_hex (Digest.string canonical)
+
+let canonical_hash text =
+  Result.map (fun (_, canonical) -> hash_of_canonical canonical) (canonicalize text)
+
+let rom_digest rom =
+  let e = Dss.e_dense rom
+  and a = Dss.a_dense rom
+  and b = Dss.b_matrix rom
+  and c = Dss.c_matrix rom in
+  Digest.to_hex (Digest.string (Marshal.to_string (e, a, b, c) []))
+
+(* ------------------------------------------------------------------ *)
+(* Keys, points and costs                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The sampling scheme is what the solved columns depend on; both methods
+   over an in-band request draw the same Bands points, so they share the
+   samples tier.  (The CLI convention is preserved: a pmtbr band starting
+   at 0 means uniform sampling of [0, hi].) *)
+let scheme_of ~meth ~band:(lo, hi) =
+  match (meth : Protocol.meth) with
+  | Pmtbr when lo <= 0.0 -> Sampling.Uniform { w_max = hi }
+  | Pmtbr | Fs_pmtbr -> Sampling.Bands [ (lo, hi) ]
+
+let scheme_descriptor ~meth ~band:(lo, hi) ~samples =
+  let kind =
+    match scheme_of ~meth ~band:(lo, hi) with Sampling.Uniform _ -> "uniform" | _ -> "bands"
+  in
+  Printf.sprintf "%s|%.17g:%.17g|%d" kind lo hi samples
+
+let network_key hash = "net|" ^ hash
+
+let samples_key hash ~meth ~band ~samples =
+  Printf.sprintf "smp|%s|%s" hash (scheme_descriptor ~meth ~band ~samples)
+
+let rom_key hash ~meth ~band ~tol ~order ~samples =
+  Printf.sprintf "rom|%s|%s|%s|tol=%s|order=%s" hash (Protocol.meth_name meth)
+    (scheme_descriptor ~meth ~band ~samples)
+    (match tol with Some t -> Printf.sprintf "%.17g" t | None -> "default")
+    (match order with Some q -> string_of_int q | None -> "auto")
+
+(* Approximate byte footprints driving the LRU budget. *)
+let network_cost ~canonical sys = String.length canonical + (64 * Dss.order sys) + 1024
+
+let samples_cost sys cache =
+  (* raw columns + incremental Q + small R, all [n x columns]-dominated *)
+  (24 * Dss.order sys * Sample_cache.columns cache) + 4096
+
+let rom_cost (r : rom_entry) =
+  (32 * r.r_order * r.r_order) + (8 * Array.length r.r_sigma) + 1024
+
+(* ------------------------------------------------------------------ *)
+(* Job execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let find_network t key =
+  match Lru.find t.lru key with Some (Network n) -> Some n | Some _ | None -> None
+
+let find_samples t key =
+  match Lru.find t.lru key with Some (Samples s) -> Some s | Some _ | None -> None
+
+let find_rom t key =
+  match Lru.find t.lru key with Some (Rom r) -> Some r | Some _ | None -> None
+
+let outcome_of_rom ~tier ~hash ~solves ~wall sys (r : rom_entry) =
+  {
+    rom = r.r_rom;
+    states = Dss.order sys;
+    order = r.r_order;
+    singular_values = r.r_sigma;
+    tier;
+    hash;
+    digest = r.r_digest;
+    job_solves = solves;
+    wall_s = wall;
+  }
+
+let reduce t ~netlist ~meth ~band ?tol ?order ~samples () =
+  let t0 = Unix.gettimeofday () in
+  let ( let* ) = Result.bind in
+  let* band = Protocol.validate_band band in
+  if samples < 1 then Error (Printf.sprintf "samples must be >= 1 (got %d)" samples)
+  else
+    let* nl, canonical = canonicalize netlist in
+    let hash = hash_of_canonical canonical in
+    let rkey = rom_key hash ~meth ~band ~tol ~order ~samples in
+    let nkey = network_key hash in
+    let skey = samples_key hash ~meth ~band ~samples in
+    (* fast path: exact repeat *)
+    let fast =
+      with_lock t.lock (fun () ->
+          t.ctr.c_jobs <- t.ctr.c_jobs + 1;
+          match (find_rom t rkey, find_network t nkey) with
+          | Some r, Some n ->
+              t.ctr.c_rom_hits <- t.ctr.c_rom_hits + 1;
+              Some (n, r)
+          | _ -> None)
+    in
+    match fast with
+    | Some (n, r) ->
+        Ok
+          (outcome_of_rom ~tier:Rom_hit ~hash ~solves:0
+             ~wall:(Unix.gettimeofday () -. t0)
+             n.sys r)
+    | None -> (
+        (* find-or-build the network entry.  The build (MNA stamp +
+           symbolic analysis) runs under the store lock: it is quick next
+           to the solves, and holding the lock makes the build unique. *)
+        let* network, net_was_warm =
+          with_lock t.lock (fun () ->
+              match find_network t nkey with
+              | Some n -> Ok (n, true)
+              | None -> (
+                  match Dss.of_netlist nl with
+                  | sys -> (
+                      t.ctr.c_parses <- t.ctr.c_parses + 1;
+                      match Dss.multi_shift sys with
+                      | ms ->
+                          t.ctr.c_symbolic <- t.ctr.c_symbolic + 1;
+                          let n = { sys; ms; lock = Mutex.create () } in
+                          Lru.add t.lru nkey ~cost:(network_cost ~canonical sys) (Network n);
+                          Ok (n, false)
+                      | exception e ->
+                          Error
+                            (Printf.sprintf "symbolic analysis failed: %s"
+                               (Printexc.to_string e)))
+                  | exception e ->
+                      Error (Printf.sprintf "MNA stamping failed: %s" (Printexc.to_string e))))
+        in
+        (* all sample-cache work for one network is serialised *)
+        with_lock network.lock (fun () ->
+            (* a racing job may have finished the same ROM while we
+               waited; answer from it so the hit counters stay honest *)
+            match with_lock t.lock (fun () -> find_rom t rkey) with
+            | Some r ->
+                with_lock t.lock (fun () -> t.ctr.c_rom_hits <- t.ctr.c_rom_hits + 1);
+                Ok
+                  (outcome_of_rom ~tier:Rom_hit ~hash ~solves:0
+                     ~wall:(Unix.gettimeofday () -. t0)
+                     network.sys r)
+            | None -> (
+                let cached = with_lock t.lock (fun () -> find_samples t skey) in
+                let* cache, tier, job_solves =
+                  match cached with
+                  | Some s ->
+                      with_lock t.lock (fun () ->
+                          t.ctr.c_samples_hits <- t.ctr.c_samples_hits + 1);
+                      Ok (s.cache, Samples_hit, 0)
+                  | None -> (
+                      let pts = Sampling.points (scheme_of ~meth ~band) ~count:samples in
+                      let cache =
+                        Sample_cache.create ~workers:t.job_workers ~ms:network.ms network.sys
+                      in
+                      match Sample_cache.extend cache pts with
+                      | () ->
+                          let st = Sample_cache.stats cache in
+                          let tier = if net_was_warm then Network_hit else Miss in
+                          with_lock t.lock (fun () ->
+                              (match tier with
+                              | Network_hit ->
+                                  t.ctr.c_network_hits <- t.ctr.c_network_hits + 1
+                              | _ -> t.ctr.c_misses <- t.ctr.c_misses + 1);
+                              t.ctr.c_solves <- t.ctr.c_solves + st.Sample_cache.solves;
+                              Lru.add t.lru skey
+                                ~cost:(samples_cost network.sys cache)
+                                (Samples { cache }));
+                          Ok (cache, tier, st.Sample_cache.solves)
+                      | exception e ->
+                          Error
+                            (Printf.sprintf "shifted solves failed: %s" (Printexc.to_string e)))
+                in
+                match
+                  Pmtbr.of_cache network.sys cache ~scale:1.0 ?order ?tol
+                    ~workers:t.job_workers ~samples ()
+                with
+                | result ->
+                    let r =
+                      {
+                        r_rom = result.Pmtbr.rom;
+                        r_order = Dss.order result.Pmtbr.rom;
+                        r_sigma = result.Pmtbr.singular_values;
+                        r_digest = rom_digest result.Pmtbr.rom;
+                      }
+                    in
+                    with_lock t.lock (fun () -> Lru.add t.lru rkey ~cost:(rom_cost r) (Rom r));
+                    Ok
+                      (outcome_of_rom ~tier ~hash ~solves:job_solves
+                         ~wall:(Unix.gettimeofday () -. t0)
+                         network.sys r)
+                | exception e ->
+                    Error (Printf.sprintf "reduction failed: %s" (Printexc.to_string e)))))

@@ -1,0 +1,93 @@
+(** Content-addressed model store: the three persistent tiers that make
+    repeat and incremental reduction queries cheap, in one size-bounded
+    {!Lru}.
+
+    - {b Network tier} (keyed by netlist hash): the parsed netlist stamped
+      to a sparse {!Pmtbr_lti.Dss.t}, plus one prepared
+      [Dss.multi_shift] handle — the symbolic sparse-LU analysis is paid
+      once per network, ever.
+    - {b Samples tier} (keyed by hash + sampling scheme): the
+      {!Pmtbr_core.Sample_cache} of solved shift columns, so a repeat
+      query with a {e tighter tolerance or different order} re-finishes
+      through [Pmtbr.of_cache] with zero new solves.
+    - {b ROM tier} (keyed by hash + method + band + tol + order +
+      samples): the finished reduced model, returned outright on exact
+      repeats.
+
+    {b Determinism.}  Every tier is a pure function of the job key: the
+    multi-shift handle always uses the canonical template shift, sample
+    caches are always extended with the full point set in one batch, and
+    the reduction finishes through the worker-invariant dense kernels.  A
+    job therefore produces a bitwise-identical ROM whether it misses every
+    tier, lands on a warm network, or re-finishes a cached sample set —
+    and regardless of which jobs ran before it (asserted in the test
+    suite and the serve bench).
+
+    Domain-safe: a global lock guards the LRU and counters, a per-network
+    lock serialises sample-cache construction and use, so concurrent jobs
+    on different networks overlap while same-network jobs queue. *)
+
+open Pmtbr_lti
+
+type t
+
+val create : ?max_cost:int -> ?job_workers:int -> unit -> t
+(** [max_cost] is the LRU budget in approximate bytes across all three
+    tiers (default 256 MiB); [job_workers] sizes the per-job solver and
+    dense-kernel pools (default 1 — service concurrency comes from
+    scheduling jobs, results are bitwise-identical either way). *)
+
+type tier = Rom_hit | Samples_hit | Network_hit | Miss
+
+val tier_name : tier -> string
+(** ["rom-hit" | "samples-hit" | "network-hit" | "miss"]. *)
+
+type outcome = {
+  rom : Dss.t;
+  states : int;  (** full-model order *)
+  order : int;  (** reduced order *)
+  singular_values : float array;
+  tier : tier;  (** deepest tier that was already warm *)
+  hash : string;  (** content hash of the canonical netlist *)
+  digest : string;  (** hex digest of the ROM matrices (bitwise identity) *)
+  job_solves : int;  (** shifted solves this job performed *)
+  wall_s : float;
+}
+
+type counters = {
+  jobs : int;
+  rom_hits : int;
+  samples_hits : int;
+  network_hits : int;
+  misses : int;
+  parses : int;  (** network-tier builds (parse + MNA stamp) *)
+  symbolic : int;  (** multi-shift handles prepared (symbolic analyses) *)
+  solves : int;  (** shifted solves across the store lifetime *)
+  evictions : int;
+}
+
+val counters : t -> counters
+(** Snapshot of the lifetime counters. *)
+
+val canonical_hash : string -> (string, string) result
+(** Content hash of a netlist text: parse, re-render canonically, digest —
+    so formatting, comments and node names do not perturb the address.
+    [Error] carries the parse failure. *)
+
+val rom_digest : Dss.t -> string
+(** Hex digest of a model's dense (E, A, B, C) — equal digests certify
+    bitwise-identical ROMs. *)
+
+val reduce :
+  t ->
+  netlist:string ->
+  meth:Protocol.meth ->
+  band:float * float ->
+  ?tol:float ->
+  ?order:int ->
+  samples:int ->
+  unit ->
+  (outcome, string) result
+(** Run (or answer from cache) one reduction job.  The band must already
+    satisfy {!Protocol.validate_band}; netlist parse errors, port-less
+    netlists and singular pencils come back as [Error]. *)
