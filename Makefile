@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-adaptive bench-variants bench-dense bench-sweep bench-lyap bench-serve clean
+.PHONY: all build test check bench bench-adaptive bench-variants bench-dense bench-sweep bench-lyap bench-serve bench-export clean
 
 all: build
 
@@ -55,6 +55,15 @@ bench-lyap:
 # not bitwise-identical to the cold-path one)
 bench-serve:
 	dune exec bench/serve_bench.exe
+
+# regenerate BENCH_export.json (fails if the one-Gramian passive
+# reduction spends more than 0.55x the two-sided tbr-lr shifted-solve
+# RHS columns on the 30-port substrate, the synthesized netlist's
+# re-parsed sweep drifts past 1e-9 of the in-memory ROM, the rendering
+# is not generation-stable, or the streaming-parse operand shrinks
+# below 100k elements)
+bench-export:
+	dune exec bench/export_bench.exe
 
 clean:
 	dune clean

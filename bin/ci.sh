@@ -32,6 +32,19 @@ OCAMLRUNPARAM=b dune exec bench/lyap_bench.exe -- --smoke
 echo "== reduction-service smoke bench (warm/cold gate + tier counters + bitwise identity)"
 OCAMLRUNPARAM=b dune exec bench/serve_bench.exe -- --smoke
 
+echo "== realizable-ROM smoke bench (parse throughput + passive col-solve ratio + roundtrip)"
+OCAMLRUNPARAM=b dune exec bench/export_bench.exe -- --smoke
+
+echo "== CLI export roundtrip (tbr-passive reduce --export, file re-parsed and swept)"
+EXPORT_NL=".ci_export_$$.sp"
+rm -f "$EXPORT_NL"
+dune exec bin/pmtbr_cli.exe -- reduce --circuit rc-mesh --size 6 --method tbr-passive \
+    --order 8 --export "$EXPORT_NL"
+[ -s "$EXPORT_NL" ] || { echo "export file missing or empty" >&2; exit 1; }
+# the exported netlist is a valid circuit source in its own right
+dune exec bin/pmtbr_cli.exe -- info --spice "$EXPORT_NL"
+rm -f "$EXPORT_NL"
+
 echo "== reduction-service daemon round trip (pmtbr serve / pmtbr batch)"
 SOCK=".ci_serve_$$.sock"
 SERVE_PID=""
@@ -53,6 +66,15 @@ dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6
 # incremental: new band on the same network reuses the prepared handle
 dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6 \
     --band 1e8:1e10 --order 8 --samples 10
+# a tbr-passive export job: the response body carries the synthesized
+# netlist, which must re-parse as a circuit source
+DAEMON_NL=".ci_daemon_export_$$.sp"
+rm -f "$DAEMON_NL"
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6 \
+    --method tbr-passive --band 0:2e10 --order 8 --export "$DAEMON_NL"
+[ -s "$DAEMON_NL" ] || { echo "daemon export body missing or empty" >&2; exit 1; }
+dune exec bin/pmtbr_cli.exe -- info --spice "$DAEMON_NL"
+rm -f "$DAEMON_NL"
 dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --server-stats
 dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --shutdown
 wait "$SERVE_PID"

@@ -228,6 +228,7 @@ type meth =
   | M_correlated
   | M_two_step
   | M_pod
+  | M_tbr_passive
 
 let method_names =
   [
@@ -236,6 +237,7 @@ let method_names =
     ("prima", M_prima);
     ("tbr", M_tbr);
     ("tbr-lr", M_tbr_lr);
+    ("tbr-passive", M_tbr_passive);
     ("multipoint", M_multipoint);
     ("cross-gramian", M_cross);
     ("correlated", M_correlated);
@@ -318,8 +320,17 @@ let correlated_inputs sys ~seed ~w_hi =
   let waves = Array.map (fun w t -> 1e-3 *. w t) bank in
   Pmtbr_signal.Waveform.sample_matrix waves ~t0:0.0 ~t1:(4.0 *. period) ~samples:400
 
+(* --band with lo > 0 switches the Lyapunov solvers to the band-limited
+   residual stop, over the same Bands sampling PMTBR uses. *)
+let lyap_stop band =
+  match band with
+  | Some (lo, hi) when lo > 0.0 ->
+      let bpts = Sampling.points (Sampling.Bands [ (lo, hi) ]) ~count:8 in
+      Some (Lr_lyap.Band_residual (Array.map (fun p -> (p.Sampling.s, p.Sampling.weight)) bpts))
+  | _ -> None
+
 let run_reduce circuit spice size ports seed meth order tol samples band workers stats adaptive
-    draws =
+    draws export =
   let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
   let sys = Dss.of_netlist nl in
   let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
@@ -399,29 +410,37 @@ let run_reduce circuit spice size ports seed meth order tol samples band workers
         ((Tbr.reduce_dss ?order ?tol sys).Tbr.rom, None, None)
     | M_tbr_lr ->
         if adaptive then no_adaptive "tbr-lr";
-        (* with an explicit band, the LR-ADI stop becomes the band-limited
-           residual criterion over the same Bands sampling PMTBR uses *)
-        let stop =
-          match band with
-          | Some (lo, hi) when lo > 0.0 ->
-              let bpts = Sampling.points (Sampling.Bands [ (lo, hi) ]) ~count:8 in
-              Some
-                (Lr_lyap.Band_residual
-                   (Array.map (fun p -> (p.Sampling.s, p.Sampling.weight)) bpts))
-          | _ -> None
-        in
-        let r, st = Tbr_lr.reduce_stats ?order ?tol ?stop ?workers sys in
+        let r, st = Tbr_lr.reduce_stats ?order ?tol ?stop:(lyap_stop band) ?workers sys in
         if stats then begin
           Printf.printf "symbolic analyses: %d\n" st.Tbr_lr.symbolic;
           Printf.printf "refactorizations:  %d (ADI shifts: %d)\n" st.Tbr_lr.refactorizations
             (Array.length st.Tbr_lr.shifts);
-          Printf.printf "shifted solves:    %d\n" st.Tbr_lr.solves;
+          Printf.printf "shifted solves:    %d (%d RHS columns)\n" st.Tbr_lr.solves
+            st.Tbr_lr.col_solves;
           Printf.printf "gramian columns:   %d ctrl / %d obs (converged: %b / %b)\n"
             st.Tbr_lr.ctrl.Lr_lyap.columns st.Tbr_lr.obs.Lr_lyap.columns
             st.Tbr_lr.ctrl.Lr_lyap.converged st.Tbr_lr.obs.Lr_lyap.converged;
           Printf.printf "wall time:         %.4f s\n" st.Tbr_lr.wall_s
         end;
         (r.Tbr_lr.rom, None, None)
+    | M_tbr_passive ->
+        if adaptive then no_adaptive "tbr-passive";
+        let inductors = Pmtbr_circuit.Netlist.inductor_count nl in
+        let r, st =
+          Tbr_passive.reduce_stats ?order ?tol ?stop:(lyap_stop band) ~inductors ?workers sys
+        in
+        if stats then begin
+          Printf.printf "symbolic analyses: %d\n" st.Tbr_passive.symbolic;
+          Printf.printf "refactorizations:  %d (ADI shifts: %d)\n"
+            st.Tbr_passive.refactorizations
+            (Array.length st.Tbr_passive.shifts);
+          Printf.printf "shifted solves:    %d (%d RHS columns; one Gramian)\n"
+            st.Tbr_passive.solves st.Tbr_passive.col_solves;
+          Printf.printf "gramian columns:   %d (converged: %b)\n"
+            st.Tbr_passive.gramian.Lr_lyap.columns st.Tbr_passive.gramian.Lr_lyap.converged;
+          Printf.printf "wall time:         %.4f s\n" st.Tbr_passive.wall_s
+        end;
+        (r.Tbr_passive.rom, None, None)
     | M_two_step ->
         if adaptive then no_adaptive "two-step";
         if stats then no_stats "two-step";
@@ -443,7 +462,42 @@ let run_reduce circuit spice size ports seed meth order tol samples band workers
     (fun (n, offered) -> Printf.printf "samples consumed:  %d of %d offered\n" n offered)
     used;
   if stats then Option.iter print_stats st;
-  report_in_band ?workers sys rom ~w_hi
+  report_in_band ?workers sys rom ~w_hi;
+  (* --export FILE: realize the ROM as a netlist, write it, and verify the
+     roundtrip — the file re-parsed, stamped and swept must reproduce the
+     in-memory ROM *)
+  Option.iter
+    (fun path ->
+      let ir =
+        try
+          Pmtbr_circuit.Synth.realize ?workers ~e:(Dss.e_dense rom) ~a:(Dss.a_dense rom)
+            ~b:(Dss.b_matrix rom) ~c:(Dss.c_matrix rom) ()
+        with Pmtbr_circuit.Synth.Unrealizable msg ->
+          failwith ("export: ROM is not realizable: " ^ msg ^ " (use --method tbr-passive)")
+      in
+      let text = Pmtbr_circuit.Spice_ir.render ir in
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text);
+      let back = Dss.of_netlist (Pmtbr_circuit.Spice.netlist (Pmtbr_circuit.Spice.parse_file path)) in
+      let omegas = Vec.linspace (w_hi /. 100.0) w_hi 40 in
+      let href = Freq.sweep ?workers rom omegas in
+      let drift =
+        Freq.stream_max_rel_error (Freq.compare_sweep ?workers back omegas ~ref_:href)
+      in
+      Printf.printf "exported %d states to %s (roundtrip drift %.3e)\n" (Dss.order rom) path
+        drift)
+    export
+
+let export_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export" ] ~docv:"FILE"
+        ~doc:
+          "Synthesize the reduced model back into an R/C netlist, write it to FILE, and \
+           verify the roundtrip (re-parse, stamp, sweep against the in-memory model).  \
+           Needs a realizable (reciprocal, symmetric) reduced model — the tbr-passive \
+           method guarantees one.")
 
 let reduce_cmd =
   let doc = "Reduce a circuit model and report the in-band error." in
@@ -451,7 +505,7 @@ let reduce_cmd =
     Term.(
       const run_reduce $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ method_arg
       $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg $ stats_arg $ adaptive_arg
-      $ draws_arg)
+      $ draws_arg $ export_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* adaptive                                                            *)
@@ -658,7 +712,7 @@ let roundtrip conn req =
   r
 
 let run_batch socket ping server_stats shutdown circuit spice size ports seed meth band tol
-    order samples repeat assert_warm =
+    order samples repeat assert_warm export_out =
   Sclient.with_connection socket (fun conn ->
       if ping then print_fields (roundtrip conn Sproto.Ping)
       else if server_stats then print_fields (roundtrip conn Sproto.Stats)
@@ -676,13 +730,26 @@ let run_batch socket ping server_stats shutdown circuit spice size ports seed me
           | Some b -> require_ok "bad band" (Sproto.validate_band b)
           | None -> failwith "--band LO:HI is required for batch jobs"
         in
-        let job = Sproto.Reduce { Sproto.meth; band; tol; order; samples; netlist } in
+        let job =
+          Sproto.Reduce
+            { Sproto.meth; band; tol; order; samples; export = export_out <> None; netlist }
+        in
         let repeat = max 1 repeat in
         let walls = Array.make repeat 0.0 in
         let digest = ref "" in
         for i = 0 to repeat - 1 do
           let r = roundtrip conn job in
           let get k = Option.value (Sproto.field r k) ~default:"?" in
+          (match export_out with
+          | Some path when i = 0 ->
+              if r.Sproto.body = "" then failwith "server returned no netlist body for --export";
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc r.Sproto.body);
+              Printf.printf "wrote synthesized ROM netlist to %s (%d bytes)\n" path
+                (String.length r.Sproto.body)
+          | _ -> ());
           walls.(i) <- float_of_string (get "wall_us") /. 1e6;
           (* every repeat must return the identical model: the store's
              bitwise-determinism contract, checked end to end *)
@@ -728,11 +795,20 @@ let batch_cmd =
       & info [ "assert-warm-speedup" ] ~docv:"X"
           ~doc:"Fail unless the best warm repeat is at least X times faster than the first run.")
   in
+  let export_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:
+            "Ask the daemon to synthesize the reduced model back into a netlist and write \
+             the response body to FILE (first repeat only).")
+  in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ socket_arg $ ping $ stats $ shutdown $ circuit_arg $ spice_arg
       $ size_arg $ ports_arg $ seed_arg $ serve_method_arg $ band_arg $ tol_arg $ order_arg
-      $ samples_arg $ repeat $ assert_warm)
+      $ samples_arg $ repeat $ assert_warm $ export_out)
 
 (* ------------------------------------------------------------------ *)
 

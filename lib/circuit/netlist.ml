@@ -25,21 +25,27 @@ let see_node t n =
   assert (n >= 0);
   if n > t.max_node then t.max_node <- n
 
+(* Values must be nonzero and finite; negative branch elements are legal —
+   unstamping synthesis of a reduced model routinely produces them (the
+   assembled MNA matrices stay semidefinite even when individual branches
+   are negative). *)
+let valid_value v = Float.is_finite v && v <> 0.0
+
 let add_r t n1 n2 ohms =
-  assert (ohms > 0.0);
+  assert (valid_value ohms);
   see_node t n1;
   see_node t n2;
   if n1 <> n2 then t.elements <- Resistor { n1; n2; ohms } :: t.elements
 
 let add_c t n1 n2 farads =
-  assert (farads > 0.0);
+  assert (valid_value farads);
   see_node t n1;
   see_node t n2;
   if n1 <> n2 then t.elements <- Capacitor { n1; n2; farads } :: t.elements
 
 (* Returns the inductor index, for later mutual coupling. *)
 let add_l t n1 n2 henries =
-  assert (henries > 0.0);
+  assert (valid_value henries);
   see_node t n1;
   see_node t n2;
   let id = t.inductor_count in

@@ -19,14 +19,16 @@ val create : unit -> t
 (** Empty netlist. *)
 
 val add_r : t -> int -> int -> float -> unit
-(** [add_r t n1 n2 ohms] adds a resistor; self-loops are ignored. *)
+(** [add_r t n1 n2 ohms] adds a resistor; self-loops are ignored.  Values
+    must be nonzero and finite; negative values are legal (unstamping
+    synthesis of reduced models produces them). *)
 
 val add_c : t -> int -> int -> float -> unit
-(** [add_c t n1 n2 farads] adds a capacitor. *)
+(** [add_c t n1 n2 farads] adds a capacitor (nonzero finite value). *)
 
 val add_l : t -> int -> int -> float -> int
-(** [add_l t n1 n2 henries] adds an inductor and returns its index, for use
-    with {!add_mutual}. *)
+(** [add_l t n1 n2 henries] adds an inductor (nonzero finite value) and
+    returns its index, for use with {!add_mutual}. *)
 
 val add_mutual : t -> int -> int -> float -> unit
 (** [add_mutual t l1 l2 k] couples two previously added inductors with

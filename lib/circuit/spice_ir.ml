@@ -1,0 +1,136 @@
+(* Canonical netlist IR: the single in-memory form every reader dialect
+   parses into and every writer renders from.  A value of [t] is a flat
+   card array (subcircuits already flattened, models already resolved)
+   plus the port list — exactly the information MNA stamping needs, in a
+   shape whose canonical rendering is deterministic and idempotent:
+
+     render (canonical ir)  parses back to  canonical ir
+
+   byte-for-byte, which is what makes it usable as a content address
+   (lib/serve/store.ml) and as the CedarSim-style roundtrip contract
+   (parse -> generate -> parse -> generate is stable). *)
+
+type card =
+  | Res of { n1 : int; n2 : int; ohms : float }
+  | Cap of { n1 : int; n2 : int; farads : float }
+  | Ind of { n1 : int; n2 : int; henries : float }
+  | Mut of { l1 : int; l2 : int; k : float }
+      (* l1/l2 index the inductor cards in order of appearance *)
+
+type t = {
+  cards : card array;
+  ports : int array; (* port nodes, in declaration order *)
+  nodes : int; (* largest node index (internal nodes are 1..nodes) *)
+}
+
+let stats t =
+  let r = ref 0 and c = ref 0 and l = ref 0 and k = ref 0 in
+  Array.iter
+    (function
+      | Res _ -> incr r
+      | Cap _ -> incr c
+      | Ind _ -> incr l
+      | Mut _ -> incr k)
+    t.cards;
+  (!r, !c, !l, !k)
+
+(* Canonical node numbering: nodes renumbered 1.. in order of first
+   appearance scanning the cards, then the ports (ground 0 is fixed).
+   Idempotent, and exactly the numbering the parser assigns when it reads
+   the canonical rendering back — that is the fixpoint argument. *)
+let canonical t =
+  let map = Hashtbl.create (2 * t.nodes) in
+  let fresh = ref 0 in
+  let renum n =
+    if n = 0 then 0
+    else
+      match Hashtbl.find_opt map n with
+      | Some m -> m
+      | None ->
+          incr fresh;
+          Hashtbl.add map n !fresh;
+          !fresh
+  in
+  let cards =
+    Array.map
+      (function
+        | Res { n1; n2; ohms } ->
+            let n1 = renum n1 in
+            Res { n1; n2 = renum n2; ohms }
+        | Cap { n1; n2; farads } ->
+            let n1 = renum n1 in
+            Cap { n1; n2 = renum n2; farads }
+        | Ind { n1; n2; henries } ->
+            let n1 = renum n1 in
+            Ind { n1; n2 = renum n2; henries }
+        | Mut _ as m -> m)
+      t.cards
+  in
+  let ports = Array.map renum t.ports in
+  { cards; ports; nodes = !fresh }
+
+(* Canonical text.  Values render with %.17g so every float roundtrips
+   bit-exactly through the text form — the synthesis writer depends on
+   this for the re-parsed-ROM == in-memory-ROM contract. *)
+let render t =
+  let buf = Buffer.create (64 * (Array.length t.cards + Array.length t.ports) + 64) in
+  Buffer.add_string buf "* exported by pmtbr\n";
+  let r = ref 0 and c = ref 0 and l = ref 0 and k = ref 0 in
+  Array.iter
+    (function
+      | Res { n1; n2; ohms } ->
+          incr r;
+          Buffer.add_string buf (Printf.sprintf "R%d %d %d %.17g\n" !r n1 n2 ohms)
+      | Cap { n1; n2; farads } ->
+          incr c;
+          Buffer.add_string buf (Printf.sprintf "C%d %d %d %.17g\n" !c n1 n2 farads)
+      | Ind { n1; n2; henries } ->
+          incr l;
+          Buffer.add_string buf (Printf.sprintf "L%d %d %d %.17g\n" !l n1 n2 henries)
+      | Mut { l1; l2; k = coupling } ->
+          incr k;
+          Buffer.add_string buf
+            (Printf.sprintf "K%d L%d L%d %.17g\n" !k (l1 + 1) (l2 + 1) coupling))
+    t.cards;
+  Array.iter (fun node -> Buffer.add_string buf (Printf.sprintf ".port %d\n" node)) t.ports;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let to_netlist t =
+  let nl = Netlist.create () in
+  let nind = ref 0 in
+  let ind_ids =
+    Array.make
+      (Array.fold_left (fun n -> function Ind _ -> n + 1 | _ -> n) 0 t.cards |> max 1)
+      0
+  in
+  Array.iter
+    (function
+      | Res { n1; n2; ohms } -> Netlist.add_r nl n1 n2 ohms
+      | Cap { n1; n2; farads } -> Netlist.add_c nl n1 n2 farads
+      | Ind { n1; n2; henries } ->
+          ind_ids.(!nind) <- Netlist.add_l nl n1 n2 henries;
+          incr nind
+      | Mut { l1; l2; k } -> Netlist.add_mutual nl ind_ids.(l1) ind_ids.(l2) k)
+    t.cards;
+  Array.iter (fun node -> ignore (Netlist.add_port nl node)) t.ports;
+  nl
+
+let of_netlist nl =
+  (* Netlist inductor ids are assigned in element order, so the positional
+     indices here coincide with them. *)
+  let cards =
+    List.map
+      (function
+        | Netlist.Resistor { n1; n2; ohms } -> Res { n1; n2; ohms }
+        | Netlist.Capacitor { n1; n2; farads } -> Cap { n1; n2; farads }
+        | Netlist.Inductor { n1; n2; henries } -> Ind { n1; n2; henries }
+        | Netlist.Mutual { l1; l2; coupling } -> Mut { l1; l2; k = coupling })
+      (Netlist.elements nl)
+    |> Array.of_list
+  in
+  {
+    cards;
+    ports = Array.of_list (Netlist.ports nl);
+    nodes = Netlist.node_count nl;
+  }

@@ -1,0 +1,43 @@
+(** Canonical netlist IR — the single source of truth between the
+    streaming SPICE reader, MNA stamping, the synthesis writer and the
+    content-addressed model store.
+
+    A value is the flat element-card array (subcircuit instances already
+    flattened, [.model] references already resolved) plus the port list.
+    {!canonical} renumbers nodes in first-appearance order, after which
+    {!render} is an exact fixpoint of the parser: the canonical text
+    parses back to the identical IR and re-renders byte-for-byte — the
+    stability contract the store keys and the netlist roundtrip tests pin
+    down.  Values render with [%.17g], so floats survive the text form
+    bit-exactly. *)
+
+type card =
+  | Res of { n1 : int; n2 : int; ohms : float }
+  | Cap of { n1 : int; n2 : int; farads : float }
+  | Ind of { n1 : int; n2 : int; henries : float }
+  | Mut of { l1 : int; l2 : int; k : float }
+      (** [l1]/[l2] index the [Ind] cards in order of appearance *)
+
+type t = {
+  cards : card array;
+  ports : int array;  (** port nodes, in declaration order *)
+  nodes : int;  (** largest node index (internal nodes are 1..nodes) *)
+}
+
+val stats : t -> int * int * int * int
+(** Counts of (resistors, capacitors, inductors, mutual couplings). *)
+
+val canonical : t -> t
+(** Renumber nodes 1.. in order of first appearance (cards, then ports).
+    Idempotent; the parser assigns exactly this numbering when reading
+    {!render} output back. *)
+
+val render : t -> string
+(** Canonical text form.  [render (canonical ir)] re-parses to
+    [canonical ir] exactly. *)
+
+val to_netlist : t -> Netlist.t
+(** Build the stamp-ready netlist. *)
+
+val of_netlist : Netlist.t -> t
+(** The inverse embedding (element and port order preserved). *)

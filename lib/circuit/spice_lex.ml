@@ -1,0 +1,108 @@
+(* Streaming logical-line lexer for the SPICE dialect.
+
+   The reader above it never sees the raw text: physical lines are pulled
+   one at a time from a producer thunk (a channel, a string walker, ...),
+   comments and blanks are dropped here, '+' continuations are folded into
+   the logical line they extend, and each logical line is delivered as a
+   token list tagged with the physical line number where it started.  A
+   million-element extraction therefore costs one small token list at a
+   time — the full text is never split into a line list. *)
+
+exception Error of int * string
+(* physical line number (1-based) and message *)
+
+type line = { num : int; tokens : string list }
+
+(* Comment handling matches the historical reader plus the inline forms:
+   '*' anywhere starts a comment (the legacy rule), and so do ';' and '$'
+   (the inline-comment forms of extracted-netlist dialects). *)
+let strip_comment s =
+  let cut = ref (String.length s) in
+  String.iteri
+    (fun i c -> if i < !cut && (c = '*' || c = ';' || c = '$') then cut := i)
+    s;
+  if !cut = String.length s then s else String.sub s 0 !cut
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+(* Tokenise on spaces/tabs without going through String.split_on_char so
+   a long card costs exactly its token substrings. *)
+let tokens_of s =
+  let len = String.length s in
+  let rec skip i = if i < len && is_space s.[i] then skip (i + 1) else i in
+  let rec word i = if i < len && not (is_space s.[i]) then word (i + 1) else i in
+  let rec go i acc =
+    let i = skip i in
+    if i >= len then List.rev acc
+    else
+      let j = word i in
+      go j (String.sub s i (j - i) :: acc)
+  in
+  go 0 []
+
+(* Fold [f] over the logical lines produced by [next].  [next] returns one
+   physical line (without its newline) per call and [None] at end of
+   input; '+' continuation lines extend the pending logical line. *)
+let fold ~next ~init ~f =
+  let acc = ref init in
+  (* pending logical line being assembled, in reverse token order *)
+  let pending = ref None in
+  let flush () =
+    match !pending with
+    | None -> ()
+    | Some (num, rev_tokens) ->
+        pending := None;
+        acc := f !acc { num; tokens = List.rev rev_tokens }
+  in
+  let lineno = ref 0 in
+  let rec loop () =
+    match next () with
+    | None -> flush ()
+    | Some raw ->
+        incr lineno;
+        (match tokens_of (strip_comment raw) with
+        | [] -> () (* blank / comment-only: does not break a continuation *)
+        | first :: rest when String.length first > 0 && first.[0] = '+' -> (
+            (* continuation: '+' may be glued to its first token *)
+            let extra =
+              if String.length first > 1 then
+                String.sub first 1 (String.length first - 1) :: rest
+              else rest
+            in
+            match !pending with
+            | None -> raise (Error (!lineno, "continuation line ('+') with no card to continue"))
+            | Some (num, rev_tokens) ->
+                pending := Some (num, List.rev_append extra rev_tokens))
+        | tokens ->
+            flush ();
+            pending := Some (!lineno, List.rev tokens));
+        loop ()
+  in
+  loop ();
+  !acc
+
+let iter ~next ~f = fold ~next ~init:() ~f:(fun () line -> f line)
+
+(* Physical-line producers ------------------------------------------- *)
+
+let next_of_channel ic () = In_channel.input_line ic
+
+(* Walk a string by index: each call carves out one line, never the whole
+   line list. *)
+let next_of_string text =
+  let pos = ref 0 in
+  let len = String.length text in
+  fun () ->
+    (* pos = len only after consuming a final newline (or on empty input):
+       the line before it was already delivered, so the input is done *)
+    if !pos >= len then None
+    else
+      match String.index_from_opt text !pos '\n' with
+      | Some i ->
+          let line = String.sub text !pos (i - !pos) in
+          pos := i + 1;
+          Some line
+      | None ->
+          let line = String.sub text !pos (len - !pos) in
+          pos := len + 1;
+          Some line

@@ -1,0 +1,30 @@
+(** Streaming logical-line lexer for the SPICE dialect.
+
+    Pulls physical lines one at a time from a producer thunk, strips
+    comments (['*'], [';'] and ['$'], anywhere in the line) and
+    blank/whitespace-only lines, folds ['+'] continuation lines into the
+    card they extend, and delivers each logical line as a token list
+    tagged with the 1-based physical line number where it started.  The
+    full text is never materialised as a line list, so million-element
+    extractions stream through in constant memory. *)
+
+exception Error of int * string
+(** Physical line number (1-based) and message — raised on a ['+']
+    continuation with no preceding card. *)
+
+type line = { num : int; tokens : string list }
+(** One logical card: [num] is the physical line its first token sits on
+    (continuation tokens report the card's first line). *)
+
+val fold : next:(unit -> string option) -> init:'a -> f:('a -> line -> 'a) -> 'a
+(** Fold over the logical lines of the producer [next] (one physical line
+    per call, [None] at end of input). *)
+
+val iter : next:(unit -> string option) -> f:(line -> unit) -> unit
+
+val next_of_channel : in_channel -> unit -> string option
+(** Physical-line producer over a channel ([In_channel.input_line]). *)
+
+val next_of_string : string -> unit -> string option
+(** Physical-line producer walking a string by index — no line list is
+    built. *)

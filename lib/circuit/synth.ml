@@ -1,0 +1,146 @@
+(* Netlist synthesis: realise a reduced descriptor model (E, A, B, C)
+   back into an R/C netlist by inverting the MNA stamp.
+
+   The stamp is invertible only for RC-structured models: E and A
+   symmetric, C = B^T (the shape the passivity-preserving truncation
+   produces by congruence).  Synthesis has two steps:
+
+   1. Port-normalising congruence.  An MNA system's B is a 0/1 node-port
+      incidence matrix; a reduced B_r is dense.  Take T = [T1 T2] with
+      T1 = Q R^{-T} from the thin QR  B_r = Q R  (so T1^T B_r = I) and T2
+      an orthonormal basis of range(B_r)'s complement (so T2^T B_r = 0).
+      The congruence (T^T E T, T^T A T, T^T B = [I; 0], C T = [I 0])
+      leaves the transfer function EXACTLY invariant (T is invertible and
+      the two T's cancel), keeps symmetry/semidefiniteness (passivity),
+      and puts the model in stampable form: state i is node i, port j is
+      node j.
+
+   2. Unstamping.  With E~ = T^T E T and A~ = T^T A T symmetric, read the
+      branch elements straight off the stamp pattern:
+
+        cap   i-j (i<j):  c_ij = -E~_ij        cap   i-gnd: c_i0 = sum_j E~_ij
+        res   i-j (i<j):  g_ij =  A~_ij        res   i-gnd: g_i0 = -sum_j A~_ij
+
+      (row sums recover the grounded branches because each off-diagonal
+      branch contributes to the diagonal too).  Re-stamping the emitted
+      netlist reproduces E~ and A~ exactly, modulo elements below the
+      drop tolerance.  Branch values may well be negative — standard for
+      unstamping synthesis, and harmless: the assembled matrices are the
+      semidefinite ones the model came with. *)
+
+open Pmtbr_la
+
+exception Unrealizable of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Unrealizable msg)) fmt
+
+let asym m =
+  (* max |M - M^T| *)
+  let worst = ref 0.0 in
+  for i = 0 to m.Mat.rows - 1 do
+    for j = i + 1 to m.Mat.cols - 1 do
+      worst := Float.max !worst (Float.abs (Mat.get m i j -. Mat.get m j i))
+    done
+  done;
+  !worst
+
+let realize ?(drop_tol = 1e-14) ?(sym_tol = 1e-8) ?workers ~e ~a ~b ~c () =
+  let q = b.Mat.rows and p = b.Mat.cols in
+  if p < 1 then fail "model has no ports";
+  if q < p then fail "model order %d is below the port count %d" q p;
+  if e.Mat.rows <> q || e.Mat.cols <> q || a.Mat.rows <> q || a.Mat.cols <> q then
+    fail "E/A must be %dx%d" q q;
+  if c.Mat.rows <> p || c.Mat.cols <> q then fail "C must be %dx%d (reciprocal model)" p q;
+  (* reciprocity / symmetry preconditions *)
+  let bscale = Float.max (Mat.max_abs b) 1e-300 in
+  if Mat.max_abs (Mat.sub c (Mat.transpose b)) > sym_tol *. bscale then
+    fail "C <> B^T: model is not reciprocal, not realizable as an RC net";
+  let escale = Float.max (Mat.max_abs e) 1e-300 in
+  let ascale = Float.max (Mat.max_abs a) 1e-300 in
+  if asym e > sym_tol *. escale then fail "E is not symmetric";
+  if asym a > sym_tol *. ascale then fail "A is not symmetric";
+  (* port-normalising congruence *)
+  let qf, r = Qr.thin ?workers b in
+  let rdiag = Array.init p (fun i -> Float.abs (Mat.get r i i)) in
+  let rmax = Array.fold_left Float.max 0.0 rdiag in
+  if rmax <= 0.0 || Array.exists (fun d -> d < 1e-12 *. rmax) rdiag then
+    fail "B is (numerically) rank-deficient: ports are not independent";
+  (* T1 = Q R^{-T}, i.e. T1^T = R^{-1} Q^T *)
+  let t1 = Mat.transpose (Mat.solve r (Mat.transpose qf)) in
+  let t =
+    if q = p then t1
+    else begin
+      (* complement of range(B): orthonormalise (I - Q Q^T) *)
+      let proj = Mat.sub (Mat.identity q) (Par_kernel.mul ?workers qf (Mat.transpose qf)) in
+      let t2 = Qr.orth ?workers proj in
+      if t2.Mat.cols <> q - p then
+        fail "complement basis has rank %d, expected %d" t2.Mat.cols (q - p);
+      Mat.hcat t1 t2
+    end
+  in
+  let congr m = Mat.symmetrize (Par_kernel.mul ?workers (Mat.transpose t) (Par_kernel.mul ?workers m t)) in
+  let et = congr e and at = congr a in
+  (* Equilibrate the internal states (a second, diagonal congruence; the
+     port states must keep unit current injection so their scale is
+     pinned).  Balanced coordinates leave internal rows of A~ at the
+     physical 1/tau scale while the port rows sit at the port-admittance
+     scale — a dynamic range that costs digits in the re-stamped solve.
+     Scaling internal state i by 1/sqrt(max_j |A~_ij|) brings the
+     conductance spread down to the physics (the time constants are
+     invariant, the range moves into the capacitors). *)
+  let d =
+    Array.init q (fun i ->
+        if i < p then 1.0
+        else
+          let s = ref 0.0 in
+          for j = 0 to q - 1 do
+            s := Float.max !s (Float.abs (Mat.get at i j))
+          done;
+          if !s > 0.0 then 1.0 /. sqrt !s else 1.0)
+  in
+  let scale m = Mat.init q q (fun i j -> Mat.get m i j *. d.(i) *. d.(j)) in
+  let et = scale et and at = scale at in
+  (* Unstamp: branches above the drop tolerance become cards.  The drop
+     test is ROW-scaled, not global: after port normalisation the port
+     block of the matrices can sit many orders of magnitude below the
+     internal block (ports are unit current injections, internal states
+     keep the physical 1/tau scale), and a branch is only negligible if
+     it is negligible in the KCL equations of BOTH its nodes.  A global
+     cutoff would delete the entire port block and disconnect the
+     ports. *)
+  let cards = ref [] in
+  let emit card = cards := card :: !cards in
+  let row_scale m =
+    Array.init q (fun i ->
+        let s = ref 0.0 in
+        for j = 0 to q - 1 do
+          s := Float.max !s (Float.abs (Mat.get m i j))
+        done;
+        Float.max !s 1e-300)
+  in
+  let es = row_scale et and as_ = row_scale at in
+  let keep scale i j v = Float.abs v > drop_tol *. sqrt (scale.(i) *. scale.(j)) in
+  for i = 0 to q - 1 do
+    (* grounded branches from the row sums *)
+    let gsum = ref 0.0 and csum = ref 0.0 in
+    for j = 0 to q - 1 do
+      gsum := !gsum +. Mat.get at i j;
+      csum := !csum +. Mat.get et i j
+    done;
+    let g0 = -. !gsum and c0 = !csum in
+    if keep as_ i i g0 then emit (Spice_ir.Res { n1 = i + 1; n2 = 0; ohms = 1.0 /. g0 });
+    if keep es i i c0 then emit (Spice_ir.Cap { n1 = i + 1; n2 = 0; farads = c0 });
+    for j = i + 1 to q - 1 do
+      let g = Mat.get at i j and cv = -.Mat.get et i j in
+      if keep as_ i j g then
+        emit (Spice_ir.Res { n1 = i + 1; n2 = j + 1; ohms = 1.0 /. g });
+      if keep es i j cv then
+        emit (Spice_ir.Cap { n1 = i + 1; n2 = j + 1; farads = cv })
+    done
+  done;
+  Spice_ir.canonical
+    {
+      Spice_ir.cards = Array.of_list (List.rev !cards);
+      ports = Array.init p (fun j -> j + 1);
+      nodes = q;
+    }

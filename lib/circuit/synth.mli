@@ -1,0 +1,36 @@
+(** Netlist synthesis: realise a reduced descriptor model back into an
+    R/C netlist by inverting the MNA stamp.
+
+    Only RC-structured reciprocal models are realizable this way —
+    [E], [A] symmetric and [C = B]{^ T}, the shape produced by the
+    passivity-preserving truncation ({!Pmtbr_lti.Tbr_passive}).  The
+    model is first brought to stampable form by the port-normalising
+    congruence [T = [Q R]{^ -T}[ | complement]] (which leaves the
+    transfer function exactly invariant), then each matrix entry is read
+    back as a branch element.  Branch values may be negative; the
+    re-stamped matrices are identical to the congruence-transformed ones
+    up to the drop tolerance. *)
+
+open Pmtbr_la
+
+exception Unrealizable of string
+(** The model is not RC-structured (asymmetric [E]/[A], [C <> B]{^ T},
+    rank-deficient [B], or fewer states than ports). *)
+
+val realize :
+  ?drop_tol:float ->
+  ?sym_tol:float ->
+  ?workers:int ->
+  e:Mat.t ->
+  a:Mat.t ->
+  b:Mat.t ->
+  c:Mat.t ->
+  unit ->
+  Spice_ir.t
+(** [realize ~e ~a ~b ~c ()] synthesises a [q]-node netlist whose MNA
+    stamp has the same transfer function as [(e, a, b, c)].  Ports come
+    out as nodes [1..p] in order.  Branches with magnitude below
+    [drop_tol] (default [1e-14]) relative to the largest entry of their
+    matrix are dropped; symmetry is checked to relative [sym_tol]
+    (default [1e-8]).
+    @raise Unrealizable if the model is not RC-structured. *)

@@ -1,0 +1,51 @@
+(** Shared shifted-solve machinery between descriptor systems and the
+    operator-abstract {!Pmtbr_la.Lr_lyap} engines.
+
+    Both Gramian sides of a balanced-truncation run (and the one-Gramian
+    symmetric run of {!Tbr_passive}) are driven through {b one} prepared
+    {!Dss.multi_shift} handle: the symbolic analysis of the sparse pencil
+    is paid once, each distinct ADI shift triggers exactly one numeric
+    refactorisation, and the observability side reuses the
+    controllability factors through hermitian solves (its shifts are
+    conjugated so the two sides land on identical factorisation keys).
+    {!counters} makes the contract testable — including [col_solves], the
+    number of right-hand-side {e columns} pushed through shifted factors,
+    which is the honest unit for comparing one-Gramian against two-Gramian
+    methods (the shared Ritz-value solves cost both the same). *)
+
+open Pmtbr_la
+
+type counters = {
+  mutable symbolic : int;  (** symbolic analyses (1 by contract, 0 with [?ms]) *)
+  mutable numeric : int;  (** numeric refactorisations — one per distinct shift *)
+  mutable solve_count : int;  (** shifted-solve calls through the handle *)
+  mutable col_solves : int;  (** total RHS columns across those calls *)
+}
+
+val shared_solver :
+  ?ms:Dss.multi_shift ->
+  Dss.t ->
+  (hermitian:bool -> Complex.t -> Mat.t -> Complex.t array array) * counters
+(** [shared_solver sys] is a cached shifted solver [(sE - A)^{-1}] /
+    [(sE - A)^{-H}] (by [~hermitian]) plus its live counters.  Factors
+    are cached per shift; [?ms] reuses an existing multi-shift handle
+    (its symbolic analysis is then not re-counted). *)
+
+val neg_cols : Complex.t array array -> Complex.t array array
+(** Negate every entry of a column set. *)
+
+val mat_of_cols : int -> float array array -> Mat.t
+(** Assemble an [n x k] matrix from [k] length-[n] columns. *)
+
+val e_solvers : Dss.t -> (Mat.t -> Mat.t) * (Mat.t -> Mat.t)
+(** [(solve_e, solve_et)]: [E^{-1} R] and [E^{-T} R] off one real
+    factorisation.
+    @raise Invalid_argument when [E] is singular (on first use). *)
+
+val ops_of_dss :
+  (hermitian:bool -> Complex.t -> Mat.t -> Complex.t array array) ->
+  Dss.t ->
+  Lr_lyap.ops * Lr_lyap.ops
+(** [(ctrl, obs)] operator views of one system over a shared solver.
+    The observability side must be given {e conjugated} shifts so both
+    sides hit identical factor keys — every caller in this library does. *)

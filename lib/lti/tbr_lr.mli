@@ -38,6 +38,11 @@ type stats = {
   refactorizations : int;
       (** numeric refactorisations — one per distinct shift by contract *)
   solves : int;  (** shifted solves through the shared handle, both sides *)
+  col_solves : int;
+      (** total right-hand-side columns across those solves — the honest
+          cost unit when comparing against the one-Gramian symmetric
+          path ({!Tbr_passive}), since the Ritz-value solves for shift
+          selection cost both methods the same *)
   wall_s : float;  (** wall-clock of the whole reduction *)
 }
 

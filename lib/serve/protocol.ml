@@ -123,9 +123,11 @@ let render lines body =
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type meth = Pmtbr | Fs_pmtbr
+type meth = Pmtbr | Fs_pmtbr | Tbr_passive
 
-let meth_names = [ ("pmtbr", Pmtbr); ("fs-pmtbr", Fs_pmtbr) ]
+let meth_names =
+  [ ("pmtbr", Pmtbr); ("fs-pmtbr", Fs_pmtbr); ("tbr-passive", Tbr_passive) ]
+
 let meth_name m = fst (List.find (fun (_, m') -> m' = m) meth_names)
 
 type job = {
@@ -134,6 +136,7 @@ type job = {
   tol : float option;
   order : int option;
   samples : int;
+  export : bool;
   netlist : string;
 }
 
@@ -153,6 +156,7 @@ let encode_request = function
         @ (match j.tol with Some t -> [ ("tol", Printf.sprintf "%.17g" t) ] | None -> [])
         @ (match j.order with Some q -> [ ("order", string_of_int q) ] | None -> [])
         @ [ ("samples", string_of_int j.samples) ]
+        @ (if j.export then [ ("export", "1") ] else [])
       in
       render lines j.netlist
 
@@ -202,8 +206,15 @@ let parse_reduce kvs body =
         | Some n -> Error (Printf.sprintf "samples must be in [1, 100000] (got %d)" n)
         | None -> Error (Printf.sprintf "unparsable samples %S" s))
   in
+  let* export =
+    match lookup "export" with
+    | None -> Ok false
+    | Some ("1" | "true") -> Ok true
+    | Some ("0" | "false") -> Ok false
+    | Some s -> Error (Printf.sprintf "export must be 0 or 1 (got %S)" s)
+  in
   if String.trim body = "" then Error "reduce job is missing the netlist body"
-  else Ok (Reduce { meth; band; tol; order; samples; netlist = body })
+  else Ok (Reduce { meth; band; tol; order; samples; export; netlist = body })
 
 let parse_request payload =
   let headers, body = split_payload payload in

@@ -46,7 +46,7 @@ val parse_band : string -> (float * float, string) result
 
 (** {1 Requests} *)
 
-type meth = Pmtbr | Fs_pmtbr
+type meth = Pmtbr | Fs_pmtbr | Tbr_passive
 
 val meth_names : (string * meth) list
 val meth_name : meth -> string
@@ -57,6 +57,7 @@ type job = {
   tol : float option;  (** singular-value tail tolerance, finite [> 0] *)
   order : int option;  (** explicit reduced order, [>= 1] *)
   samples : int;  (** frequency points, [>= 1] (default {!default_samples}) *)
+  export : bool;  (** synthesize the ROM back to a netlist in the response body *)
   netlist : string;  (** inline SPICE-dialect netlist text *)
 }
 
@@ -79,7 +80,9 @@ val parse_request : string -> (request, string) result
 type response = {
   status : (unit, string) result;  (** [Error msg] carries the failure *)
   fields : (string * string) list;  (** informational key/value pairs *)
-  body : string;  (** opaque payload (empty for all current responses) *)
+  body : string;
+      (** opaque payload: the synthesized ROM netlist for an [export]
+          reduce job, empty otherwise *)
 }
 
 val ok : ?fields:(string * string) list -> ?body:string -> unit -> response

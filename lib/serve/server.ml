@@ -65,9 +65,16 @@ let respond store ~shutdown request =
       match
         Store.reduce store ~netlist:j.Protocol.netlist ~meth:j.Protocol.meth
           ~band:j.Protocol.band ?tol:j.Protocol.tol ?order:j.Protocol.order
-          ~samples:j.Protocol.samples ()
+          ~export:j.Protocol.export ~samples:j.Protocol.samples ()
       with
-      | Ok outcome -> Protocol.ok ~fields:(fields_of_outcome outcome) ()
+      | Ok outcome ->
+          let fields = fields_of_outcome outcome in
+          let fields, body =
+            match outcome.Store.netlist with
+            | Some text -> (fields @ [ ("export", "1") ], text)
+            | None -> (fields, "")
+          in
+          Protocol.ok ~fields ~body ()
       | Error msg -> Protocol.error msg)
 
 (* One connection: serve frames until EOF, a framing error, or shutdown.

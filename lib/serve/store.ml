@@ -92,6 +92,7 @@ type outcome = {
   digest : string;
   job_solves : int;
   wall_s : float;
+  netlist : string option;
 }
 
 type counters = {
@@ -128,15 +129,21 @@ let counters t =
 (* Content addressing                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* The netlist that gets STAMPED is rebuilt from the canonical IR, not
+   from the submitted text's own node numbering: the network tier (and
+   every ROM derived from it) must be a pure function of the canonical
+   hash, so two reformatted texts of the same circuit produce
+   bitwise-identical ROMs no matter which of them built the tier first. *)
 let canonicalize text =
   match Pmtbr_circuit.Spice.parse_string text with
   | parsed ->
-      let nl = Pmtbr_circuit.Spice.netlist parsed in
+      let ir = Pmtbr_circuit.Spice_ir.canonical (Pmtbr_circuit.Spice.ir parsed) in
+      let nl = Pmtbr_circuit.Spice_ir.to_netlist ir in
       if Pmtbr_circuit.Netlist.port_count nl < 1 then
         Error "netlist declares no .port — a reduction job needs at least one"
       else if Pmtbr_circuit.Netlist.node_count nl < 1 then
         Error "netlist has no internal nodes"
-      else Ok (nl, Pmtbr_circuit.Spice.to_string nl)
+      else Ok (nl, Pmtbr_circuit.Spice_ir.render ir)
   | exception Pmtbr_circuit.Spice.Parse_error (line, msg) ->
       Error (Printf.sprintf "netlist parse error at line %d: %s" line msg)
 
@@ -163,7 +170,7 @@ let rom_digest rom =
 let scheme_of ~meth ~band:(lo, hi) =
   match (meth : Protocol.meth) with
   | Pmtbr when lo <= 0.0 -> Sampling.Uniform { w_max = hi }
-  | Pmtbr | Fs_pmtbr -> Sampling.Bands [ (lo, hi) ]
+  | Pmtbr | Fs_pmtbr | Tbr_passive -> Sampling.Bands [ (lo, hi) ]
 
 let scheme_descriptor ~meth ~band:(lo, hi) ~samples =
   let kind =
@@ -205,7 +212,7 @@ let find_samples t key =
 let find_rom t key =
   match Lru.find t.lru key with Some (Rom r) -> Some r | Some _ | None -> None
 
-let outcome_of_rom ~tier ~hash ~solves ~wall sys (r : rom_entry) =
+let outcome_of_rom ~tier ~hash ~solves ~wall ~netlist sys (r : rom_entry) =
   {
     rom = r.r_rom;
     states = Dss.order sys;
@@ -216,9 +223,24 @@ let outcome_of_rom ~tier ~hash ~solves ~wall sys (r : rom_entry) =
     digest = r.r_digest;
     job_solves = solves;
     wall_s = wall;
+    netlist;
   }
 
-let reduce t ~netlist ~meth ~band ?tol ?order ~samples () =
+(* Export synthesis runs on demand from the cached ROM (deterministic, so
+   a warm-tier export is byte-identical to a cold one) and is never part
+   of the cached entry. *)
+let export_of_rom ~export rom =
+  if not export then Ok None
+  else
+    match
+      Pmtbr_circuit.Synth.realize ~e:(Dss.e_dense rom) ~a:(Dss.a_dense rom)
+        ~b:(Dss.b_matrix rom) ~c:(Dss.c_matrix rom) ()
+    with
+    | ir -> Ok (Some (Pmtbr_circuit.Spice_ir.render ir))
+    | exception Pmtbr_circuit.Synth.Unrealizable msg ->
+        Error ("export failed: ROM is not realizable: " ^ msg)
+
+let reduce t ~netlist ~meth ~band ?tol ?order ?(export = false) ~samples () =
   let t0 = Unix.gettimeofday () in
   let ( let* ) = Result.bind in
   let* band = Protocol.validate_band band in
@@ -241,10 +263,11 @@ let reduce t ~netlist ~meth ~band ?tol ?order ~samples () =
     in
     match fast with
     | Some (n, r) ->
+        let* netlist = export_of_rom ~export r.r_rom in
         Ok
           (outcome_of_rom ~tier:Rom_hit ~hash ~solves:0
              ~wall:(Unix.gettimeofday () -. t0)
-             n.sys r)
+             ~netlist n.sys r)
     | None -> (
         (* find-or-build the network entry.  The build (MNA stamp +
            symbolic analysis) runs under the store lock: it is quick next
@@ -277,10 +300,54 @@ let reduce t ~netlist ~meth ~band ?tol ?order ~samples () =
             match with_lock t.lock (fun () -> find_rom t rkey) with
             | Some r ->
                 with_lock t.lock (fun () -> t.ctr.c_rom_hits <- t.ctr.c_rom_hits + 1);
+                let* netlist = export_of_rom ~export r.r_rom in
                 Ok
                   (outcome_of_rom ~tier:Rom_hit ~hash ~solves:0
                      ~wall:(Unix.gettimeofday () -. t0)
-                     network.sys r)
+                     ~netlist network.sys r)
+            | None when meth = Protocol.Tbr_passive -> (
+                (* one-Gramian symmetric path: no samples tier — the ADI
+                   columns are method-specific and cheap next to the ROM;
+                   the shared multi-shift handle is still reused *)
+                let stop =
+                  let lo, _ = band in
+                  if lo > 0.0 then
+                    let pts = Sampling.points (Sampling.Bands [ band ]) ~count:8 in
+                    Some
+                      (Pmtbr_la.Lr_lyap.Band_residual
+                         (Array.map (fun p -> (p.Sampling.s, p.Sampling.weight)) pts))
+                  else None
+                in
+                let inductors = Pmtbr_circuit.Netlist.inductor_count nl in
+                match
+                  Tbr_passive.reduce_stats ?order ?tol ?stop ~inductors
+                    ~ms:network.ms ~workers:t.job_workers network.sys
+                with
+                | red, stats ->
+                    let tier = if net_was_warm then Network_hit else Miss in
+                    let r =
+                      {
+                        r_rom = red.Tbr_passive.rom;
+                        r_order = red.Tbr_passive.order;
+                        r_sigma = red.Tbr_passive.hsv;
+                        r_digest = rom_digest red.Tbr_passive.rom;
+                      }
+                    in
+                    with_lock t.lock (fun () ->
+                        (match tier with
+                        | Network_hit -> t.ctr.c_network_hits <- t.ctr.c_network_hits + 1
+                        | _ -> t.ctr.c_misses <- t.ctr.c_misses + 1);
+                        t.ctr.c_solves <- t.ctr.c_solves + stats.Tbr_passive.solves;
+                        Lru.add t.lru rkey ~cost:(rom_cost r) (Rom r));
+                    let* netlist = export_of_rom ~export r.r_rom in
+                    Ok
+                      (outcome_of_rom ~tier ~hash ~solves:stats.Tbr_passive.solves
+                         ~wall:(Unix.gettimeofday () -. t0)
+                         ~netlist network.sys r)
+                | exception e ->
+                    Error
+                      (Printf.sprintf "passive reduction failed: %s"
+                         (Printexc.to_string e)))
             | None -> (
                 let cached = with_lock t.lock (fun () -> find_samples t skey) in
                 let* cache, tier, job_solves =
@@ -326,9 +393,10 @@ let reduce t ~netlist ~meth ~band ?tol ?order ~samples () =
                       }
                     in
                     with_lock t.lock (fun () -> Lru.add t.lru rkey ~cost:(rom_cost r) (Rom r));
+                    let* netlist = export_of_rom ~export r.r_rom in
                     Ok
                       (outcome_of_rom ~tier ~hash ~solves:job_solves
                          ~wall:(Unix.gettimeofday () -. t0)
-                         network.sys r)
+                         ~netlist network.sys r)
                 | exception e ->
                     Error (Printf.sprintf "reduction failed: %s" (Printexc.to_string e)))))

@@ -52,6 +52,9 @@ type outcome = {
   digest : string;  (** hex digest of the ROM matrices (bitwise identity) *)
   job_solves : int;  (** shifted solves this job performed *)
   wall_s : float;
+  netlist : string option;
+      (** canonical synthesized ROM netlist, when the job asked for
+          [export] (realizable ROMs only) *)
 }
 
 type counters = {
@@ -85,9 +88,18 @@ val reduce :
   band:float * float ->
   ?tol:float ->
   ?order:int ->
+  ?export:bool ->
   samples:int ->
   unit ->
   (outcome, string) result
 (** Run (or answer from cache) one reduction job.  The band must already
     satisfy {!Protocol.validate_band}; netlist parse errors, port-less
-    netlists and singular pencils come back as [Error]. *)
+    netlists and singular pencils come back as [Error].
+
+    [meth = Tbr_passive] runs the one-Gramian passivity-preserving
+    truncation through the network tier's shared multi-shift handle (no
+    samples tier — the ADI columns are method-specific); a band with
+    [lo > 0] switches the Gramian solver to the band-limited residual
+    criterion.  [export] synthesizes the ROM back into a canonical
+    netlist ({!outcome.netlist}) — an error if the ROM is not
+    RC-realizable. *)

@@ -175,6 +175,106 @@ let test_substrate_deterministic () =
   let m1 = Mna.stamp n1 and m2 = Mna.stamp n2 in
   check_small "same A" (Mat.frobenius (Mat.sub (Triplet.to_dense m1.Mna.a) (Triplet.to_dense m2.Mna.a)))
 
+(* ------------------------------------------------------------------ *)
+(* Streaming SPICE reader                                              *)
+(* ------------------------------------------------------------------ *)
+
+let stats_of text = Netlist.stats (Spice.netlist (Spice.parse_string text))
+
+let test_spice_continuations_and_comments () =
+  (* '+' continuation lines, '*' / ';' / '$' comments (inline and full
+     line), and blank lines — all exercised on one netlist *)
+  let text =
+    "* full-line comment\n\
+     R1 1 0\n\
+     + 1k ; inline comment after a continuation\n\
+     \n\
+     C1 1\n\
+     + 0\n\
+     + 1p $ another inline comment\n\
+     $ full-line dollar comment\n\
+     .port 1\n\
+     .end\n\
+     R_ignored_after_end 2 0 1k\n"
+  in
+  let r, c, l, k = stats_of text in
+  Alcotest.(check int) "resistors" 1 r;
+  Alcotest.(check int) "capacitors" 1 c;
+  Alcotest.(check int) "inductors" 0 l;
+  Alcotest.(check int) "mutuals" 0 k
+
+let test_spice_case_insensitive_directives () =
+  let text = "r1 n1 GND 1K\nC1 N1 gnd 1P\n.PORT n1\n.End\n" in
+  let nl = Spice.netlist (Spice.parse_string text) in
+  let r, c, _, _ = Netlist.stats nl in
+  Alcotest.(check int) "resistors" 1 r;
+  Alcotest.(check int) "capacitors" 1 c;
+  Alcotest.(check int) "one port" 1 (Netlist.port_count nl);
+  (* n1 and N1 are the same node: one state *)
+  Alcotest.(check int) "one node" 1 (Mna.stamp nl).Mna.n
+
+let test_spice_subckt_flattening () =
+  (* a two-section ladder instantiated twice, chained through x/y; the
+     internal node of each instance is scoped, so 5 distinct nodes *)
+  let text =
+    ".subckt sec in out\n\
+     Rs in mid 1k\n\
+     Cs mid 0 1p\n\
+     Ro mid out 2k\n\
+     .ends\n\
+     X1 a b sec\n\
+     X2 b c sec\n\
+     .port a\n\
+     .end\n"
+  in
+  let parsed = Spice.parse_string text in
+  let nl = Spice.netlist parsed in
+  let r, c, _, _ = Netlist.stats nl in
+  Alcotest.(check int) "resistors" 4 r;
+  Alcotest.(check int) "capacitors" 2 c;
+  Alcotest.(check int) "nodes" 5 (Mna.stamp nl).Mna.n;
+  (* instance-internal nodes carry their scoped names *)
+  let names = List.init 5 (fun i -> Spice.node_name parsed (i + 1)) in
+  Alcotest.(check bool) "scoped internal node" true (List.mem "x1.mid" names);
+  Alcotest.(check bool) "scoped internal node 2" true (List.mem "x2.mid" names)
+
+let test_spice_model_cards () =
+  let text =
+    ".model rload res 50\n\
+     .model cpar c 2p\n\
+     R1 1 0 rload\n\
+     C1 1 0 cpar\n\
+     .port 1\n\
+     .end\n"
+  in
+  let m = Mna.stamp (Spice.netlist (Spice.parse_string text)) in
+  approx "A from model R" (-1.0 /. 50.0) (Mat.get (Triplet.to_dense m.Mna.a) 0 0);
+  approx ~tol:1e-24 "E from model C" 2e-12 (Mat.get (Triplet.to_dense m.Mna.e) 0 0)
+
+let test_spice_negative_values () =
+  (* synthesized ROM netlists carry negative branch elements *)
+  let text = "R1 1 2 -3.5\nR2 1 0 2.0\nC1 1 0 1p\nC2 1 2 -4e-13\n.port 1\n.end\n" in
+  let r, c, _, _ = stats_of text in
+  Alcotest.(check int) "resistors" 2 r;
+  Alcotest.(check int) "capacitors" 2 c
+
+let test_spice_line_numbered_errors () =
+  let expect_line text want_line =
+    match Spice.parse_string text with
+    | exception Spice.Parse_error (line, _) ->
+        Alcotest.(check int) (Printf.sprintf "error line for %S" text) want_line line
+    | _ -> Alcotest.failf "%S must fail to parse" text
+  in
+  expect_line "R1 1 0 1k\nC1 1 0 0\n" 2 (* zero value *);
+  (* a continued card is reported at the line where the card begins *)
+  expect_line "R1 1 0 1k\n\nR2 1 0\n+ banana\n" 3;
+  expect_line "R1 1 0 1k\n.frobnicate 1\n" 2 (* unknown directive *);
+  expect_line "R1 1 0 1k\nK1 L1 L2 0.5\n" 2 (* unknown inductor *);
+  expect_line "X1 a b nosuch\n" 1 (* unknown subcircuit *);
+  expect_line ".subckt s in out\nR1 in out 1\n" 1 (* unclosed definition *);
+  expect_line "R1 1 0 1k\n.ends\n" 2 (* .ends without .subckt *);
+  expect_line ".port 0\n" 1 (* port on ground *)
+
 (* property: every generator yields a stamped system whose A is stable
    (eigenvalues of the symmetric part nonpositive) *)
 let prop_generators_stable =
@@ -209,6 +309,17 @@ let () =
           Alcotest.test_case "connector" `Quick test_connector_structure;
           Alcotest.test_case "substrate" `Quick test_substrate_structure;
           Alcotest.test_case "substrate deterministic" `Quick test_substrate_deterministic;
+        ] );
+      ( "spice-reader",
+        [
+          Alcotest.test_case "continuations and comments" `Quick
+            test_spice_continuations_and_comments;
+          Alcotest.test_case "case-insensitive directives" `Quick
+            test_spice_case_insensitive_directives;
+          Alcotest.test_case "subckt flattening" `Quick test_spice_subckt_flattening;
+          Alcotest.test_case "model cards" `Quick test_spice_model_cards;
+          Alcotest.test_case "negative values" `Quick test_spice_negative_values;
+          Alcotest.test_case "line-numbered errors" `Quick test_spice_line_numbered_errors;
         ] );
       ("properties", props);
     ]

@@ -111,6 +111,7 @@ let test_request_roundtrip () =
       tol = Some 1e-9;
       order = Some 12;
       samples = 17;
+      export = false;
       netlist = "R1 1 0 1k\nC1 1 0 1p\n.port 1\n.end\n";
     }
   in
@@ -121,9 +122,22 @@ let test_request_roundtrip () =
       Alcotest.(check (option (float 0.0))) "tol" (Some 1e-9) j.Protocol.tol;
       Alcotest.(check (option int)) "order" (Some 12) j.Protocol.order;
       Alcotest.(check int) "samples" 17 j.Protocol.samples;
+      Alcotest.(check bool) "export default off" false j.Protocol.export;
       Alcotest.(check string) "netlist" job.Protocol.netlist j.Protocol.netlist
   | Ok _ -> Alcotest.fail "wrong request kind"
   | Error e -> Alcotest.fail ("reduce roundtrip: " ^ e));
+  (* the export flag and the tbr-passive method survive the wire *)
+  (match
+     Protocol.parse_request
+       (Protocol.encode_request
+          (Protocol.Reduce
+             { job with Protocol.meth = Protocol.Tbr_passive; export = true }))
+   with
+  | Ok (Protocol.Reduce j) ->
+      Alcotest.(check bool) "tbr-passive meth" true (j.Protocol.meth = Protocol.Tbr_passive);
+      Alcotest.(check bool) "export on" true j.Protocol.export
+  | Ok _ -> Alcotest.fail "wrong request kind"
+  | Error e -> Alcotest.fail ("export roundtrip: " ^ e));
   List.iter
     (fun req ->
       match Protocol.parse_request (Protocol.encode_request req) with
@@ -143,6 +157,7 @@ let test_request_validation () =
   reject "job reduce\nmethod pmtbr\nband 1:2\ntol -1\n\nR1 1 0 1\n.port 1\n" "negative tol";
   reject "job reduce\nmethod pmtbr\nband 1:2\norder 0\n\nR1 1 0 1\n.port 1\n" "zero order";
   reject "job reduce\nmethod pmtbr\nband 1:2\nsamples 0\n\nR1 1 0 1\n.port 1\n" "zero samples";
+  reject "job reduce\nmethod pmtbr\nband 1:2\nexport maybe\n\nR1 1 0 1\n.port 1\n" "bad export";
   reject "job reduce\nmethod pmtbr\nband 1:2\n\n" "missing netlist"
 
 let test_response_roundtrip () =
@@ -228,9 +243,9 @@ let must = function Ok v -> v | Error e -> Alcotest.fail e
 let job_defaults = (Protocol.Pmtbr, (0.0, 2e10), 10)
 
 let run_job ?(meth = Protocol.Pmtbr) ?(band = (0.0, 2e10)) ?tol ?(order = 8) ?(samples = 10)
-    store netlist =
+    ?(export = false) store netlist =
   let _ = job_defaults in
-  must (Store.reduce store ~netlist ~meth ~band ?tol ~order ~samples ())
+  must (Store.reduce store ~netlist ~meth ~band ?tol ~order ~export ~samples ())
 
 let test_hash_stability () =
   let text = mesh_netlist () in
@@ -270,6 +285,52 @@ let test_store_tiers_and_counters () =
   Alcotest.(check int) "misses" 1 c.Store.misses;
   Alcotest.(check int) "one parse per network, ever" 1 c.Store.parses;
   Alcotest.(check int) "one symbolic analysis per network, ever" 1 c.Store.symbolic
+
+(* The hash is computed on the canonical re-render AND the stamp is built
+   from the canonical IR, so two formattings of one network are the same
+   store entry and the same bitwise ROM. *)
+let test_reformatted_collides_to_one_rom () =
+  let text = mesh_netlist ~n:5 () in
+  let noisy = "* a comment\n\n" ^ text ^ "* trailing\n" in
+  let store = Store.create () in
+  let o1 = run_job store text in
+  let o2 = run_job store noisy in
+  Alcotest.(check string) "reformatted text is a rom hit" "rom-hit" (Store.tier_name o2.Store.tier);
+  Alcotest.(check string) "one digest" o1.Store.digest o2.Store.digest;
+  (* and a fresh store fed only the noisy text still produces that digest *)
+  let cold = run_job (Store.create ()) noisy in
+  Alcotest.(check string) "digest independent of submitted formatting" o1.Store.digest
+    cold.Store.digest
+
+(* tbr-passive through the store: tier progression, export body closing
+   the roundtrip, and multi-shift handle reuse on a new band. *)
+let test_tbr_passive_tiers_and_export () =
+  let store = Store.create () in
+  let netlist = mesh_netlist ~n:5 () in
+  let o1 = run_job ~meth:Protocol.Tbr_passive ~order:6 ~export:true store netlist in
+  Alcotest.(check string) "first job misses" "miss" (Store.tier_name o1.Store.tier);
+  Alcotest.(check bool) "passive job solves" true (o1.Store.job_solves > 0);
+  let body =
+    match o1.Store.netlist with
+    | Some t -> t
+    | None -> Alcotest.fail "export requested but no netlist returned"
+  in
+  (* the exported body re-parses, stamps and sweeps to the in-memory ROM *)
+  let back = Pmtbr_lti.Dss.of_netlist (Spice.netlist (Spice.parse_string body)) in
+  let omegas = [| 1e8; 1e9; 5e9; 2e10 |] in
+  let href = Pmtbr_lti.Freq.sweep o1.Store.rom omegas in
+  let st = Pmtbr_lti.Freq.compare_sweep back omegas ~ref_:href in
+  Alcotest.(check bool) "export body reproduces the ROM (<= 1e-9)" true
+    (Pmtbr_lti.Freq.stream_max_rel_error st <= 1e-9);
+  (* verbatim repeat: ROM-tier hit, identical digest, export still served *)
+  let o2 = run_job ~meth:Protocol.Tbr_passive ~order:6 ~export:true store netlist in
+  Alcotest.(check string) "repeat is a rom hit" "rom-hit" (Store.tier_name o2.Store.tier);
+  Alcotest.(check int) "repeat does no solves" 0 o2.Store.job_solves;
+  Alcotest.(check string) "repeat digest" o1.Store.digest o2.Store.digest;
+  Alcotest.(check bool) "export body is render-stable" true (o2.Store.netlist = Some body);
+  (* same network, new band: the prepared multi-shift handle is reused *)
+  let o3 = run_job ~meth:Protocol.Tbr_passive ~order:6 ~band:(1e8, 1e10) store netlist in
+  Alcotest.(check string) "new band reuses network" "network-hit" (Store.tier_name o3.Store.tier)
 
 (* The bitwise contract: a warm-path ROM equals the cold-path ROM no
    matter what ran before it. *)
@@ -394,6 +455,7 @@ let test_concurrent_jobs_deterministic () =
                                tol = None;
                                order = Some 8;
                                samples = 10;
+                               export = false;
                                netlist = nl;
                              })
                       in
@@ -409,6 +471,35 @@ let test_concurrent_jobs_deterministic () =
           Alcotest.(check string) (Printf.sprintf "job %d matches standalone store" i)
             expected.(i) d)
         results)
+
+(* An export job over the wire: the response body carries the synthesized
+   netlist, which re-parses to a model of the reduced order. *)
+let test_daemon_export_job () =
+  let socket = Printf.sprintf ".pmtbr_test_exp.%d.sock" (Unix.getpid ()) in
+  let daemon = start_daemon ~socket ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon ~socket daemon)
+    (fun () ->
+      Client.with_connection socket (fun c ->
+          let r =
+            roundtrip c
+              (Protocol.Reduce
+                 {
+                   Protocol.meth = Protocol.Tbr_passive;
+                   band = (0.0, 2e10);
+                   tol = None;
+                   order = Some 6;
+                   samples = 10;
+                   export = true;
+                   netlist = mesh_netlist ~n:5 ();
+                 })
+          in
+          Alcotest.(check (option string)) "export field" (Some "1") (Protocol.field r "export");
+          Alcotest.(check bool) "body non-empty" true (String.length r.Protocol.body > 0);
+          let back = Pmtbr_lti.Dss.of_netlist (Spice.netlist (Spice.parse_string r.Protocol.body)) in
+          Alcotest.(check int) "body parses to the reduced order"
+            (int_of_string (field r "order"))
+            (Pmtbr_lti.Dss.order back)))
 
 let test_daemon_protocol_errors () =
   let socket = Printf.sprintf ".pmtbr_test_err.%d.sock" (Unix.getpid ()) in
@@ -449,7 +540,7 @@ let test_daemon_protocol_errors () =
           let fdc = c in
           match Client.request fdc (Protocol.Reduce {
             Protocol.meth = Protocol.Pmtbr; band = (0.0, 1e9); tol = None; order = None;
-            samples = 5; netlist = "R1 1 0 banana\n.port 1\n" })
+            samples = 5; export = false; netlist = "R1 1 0 banana\n.port 1\n" })
           with
           | Ok r -> (
               (match r.Protocol.status with
@@ -488,6 +579,10 @@ let () =
         [
           Alcotest.test_case "hash stability" `Quick test_hash_stability;
           Alcotest.test_case "tiers and counters" `Quick test_store_tiers_and_counters;
+          Alcotest.test_case "reformatted collides to one rom" `Quick
+            test_reformatted_collides_to_one_rom;
+          Alcotest.test_case "tbr-passive tiers and export" `Quick
+            test_tbr_passive_tiers_and_export;
           Alcotest.test_case "warm equals cold (bitwise)" `Quick test_warm_equals_cold;
           Alcotest.test_case "eviction forces recompute" `Quick test_eviction_forces_recompute;
           Alcotest.test_case "rejects garbage" `Quick test_store_rejects_garbage;
@@ -496,6 +591,7 @@ let () =
         [
           Alcotest.test_case "concurrent jobs deterministic" `Quick
             test_concurrent_jobs_deterministic;
+          Alcotest.test_case "export job" `Quick test_daemon_export_job;
           Alcotest.test_case "protocol errors" `Quick test_daemon_protocol_errors;
         ] );
     ]
