@@ -102,10 +102,7 @@ let bench_case ~name ~sys ~points ~batch ~tol =
   r
 
 let json_of_records records =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Util.json_object @@ fun buf ->
   Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i r ->
@@ -139,8 +136,7 @@ let json_of_records records =
       Buffer.add_string buf
         (Printf.sprintf "    }%s\n" (if i = List.length records - 1 then "" else ",")))
     records;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  Buffer.add_string buf "  ]\n"
 
 let () =
   let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
@@ -177,10 +173,7 @@ let () =
     end
   in
   let json = json_of_records records in
-  let oc = open_out "BENCH_adaptive.json" in
-  output_string oc json;
-  close_out oc;
-  print_string json;
+  Util.write_json ~file:"BENCH_adaptive.json" json;
   if not smoke then begin
     (* acceptance gate: >= 3x on the 64-point rc-mesh sweep *)
     let mesh = List.hd records in

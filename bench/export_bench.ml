@@ -142,10 +142,7 @@ let passive_case ~ports ~internal ~order ~ratio_gate =
 (* ------------------------------------------------------------------ *)
 
 let json_of ~parse ~passive =
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Util.json_object @@ fun buf ->
   Buffer.add_string buf "  \"parse\": {\n";
   Buffer.add_string buf (Printf.sprintf "    \"mesh\": %d,\n" parse.mesh);
   Buffer.add_string buf (Printf.sprintf "    \"elements\": %d,\n" parse.elements);
@@ -171,8 +168,7 @@ let json_of ~parse ~passive =
     (Printf.sprintf "    \"roundtrip_drift\": %.3e,\n" passive.roundtrip_drift);
   Buffer.add_string buf
     (Printf.sprintf "    \"render_stable\": %b\n" passive.render_stable);
-  Buffer.add_string buf "  }\n}\n";
-  Buffer.contents buf
+  Buffer.add_string buf "  }\n"
 
 let () =
   let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
@@ -192,10 +188,7 @@ let () =
     end
   in
   let json = json_of ~parse ~passive in
-  let oc = open_out "BENCH_export.json" in
-  output_string oc json;
-  close_out oc;
-  print_string json;
+  Util.write_json ~file:"BENCH_export.json" json;
   Printf.eprintf "[export_bench] %s OK: col ratio %.3f, drift %.2e, %.0f elements/s\n%!"
     (if smoke then "smoke" else "full")
     passive.col_solve_ratio passive.roundtrip_drift parse.elements_per_s

@@ -136,10 +136,7 @@ let bench_case ~name ~rows ~cols ~order ~reps =
   r
 
 let json_of_records records =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Util.json_object @@ fun buf ->
   Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i r ->
@@ -161,8 +158,7 @@ let json_of_records records =
       Buffer.add_string buf
         (Printf.sprintf "    }%s\n" (if i = List.length records - 1 then "" else ",")))
     records;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  Buffer.add_string buf "  ]\n"
 
 let () =
   let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
@@ -183,10 +179,7 @@ let () =
     end
   in
   let json = json_of_records records in
-  let oc = open_out "BENCH_lyap.json" in
-  output_string oc json;
-  close_out oc;
-  print_string json;
+  Util.write_json ~file:"BENCH_lyap.json" json;
   if not smoke then begin
     (* acceptance gate: low-rank exact TBR must beat the dense baseline
        >= 5x at 1089 states with hsv drift <= 1e-8 (checked above) *)

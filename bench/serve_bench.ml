@@ -116,7 +116,7 @@ let run_scenario ~mesh_n ~samples ~warm_jobs =
   let nl = Pmtbr_circuit.Rc_mesh.generate ~rows:mesh_n ~cols:mesh_n ~ports:2 () in
   let netlist = Pmtbr_circuit.Spice.to_string nl in
   let job = { Protocol.meth = Protocol.Pmtbr; band = (0.0, 2e10); tol = None;
-              order = Some 12; samples; export = false; netlist } in
+              order = Some 12; samples; partition = None; export = false; netlist } in
   let socket = Printf.sprintf ".serve_bench.%d.sock" (Unix.getpid ()) in
   let daemon = start_daemon ~socket ~workers:2 in
   let finally () = stop_daemon daemon in
@@ -203,10 +203,7 @@ let run_scenario ~mesh_n ~samples ~warm_jobs =
           }))
 
 let json_of_record r =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Util.json_object @@ fun buf ->
   Buffer.add_string buf "  \"cases\": [\n    {\n";
   Buffer.add_string buf (Printf.sprintf "      \"circuit\": %S,\n" r.circuit);
   Buffer.add_string buf (Printf.sprintf "      \"states\": %d,\n" r.states);
@@ -223,8 +220,7 @@ let json_of_record r =
   Buffer.add_string buf (Printf.sprintf "      \"retol_solves\": %d,\n" r.retol_solves);
   Buffer.add_string buf
     (Printf.sprintf "      \"cold_digest_equal\": %b\n" r.cold_digest_equal);
-  Buffer.add_string buf "    }\n  ]\n}\n";
-  Buffer.contents buf
+  Buffer.add_string buf "    }\n  ]\n"
 
 let () =
   let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
@@ -233,10 +229,7 @@ let () =
     else run_scenario ~mesh_n:24 ~samples:30 ~warm_jobs:200
   in
   let json = json_of_record r in
-  let oc = open_out "BENCH_serve.json" in
-  output_string oc json;
-  close_out oc;
-  print_string json;
+  Util.write_json ~file:"BENCH_serve.json" json;
   (* acceptance gate: a warm repeat must beat the cold path by 10x on the
      full operand; the smoke operand is tiny, so the gate is relaxed to
      3x there (the invariants above are the real smoke check) *)

@@ -126,10 +126,7 @@ let bench_case ~name ~sys ~omegas ~workers ~reps ~tol =
   r
 
 let json_of_records records =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Util.json_object @@ fun buf ->
   Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i r ->
@@ -149,8 +146,7 @@ let json_of_records records =
       Buffer.add_string buf
         (Printf.sprintf "    }%s\n" (if i = List.length records - 1 then "" else ",")))
     records;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  Buffer.add_string buf "  ]\n"
 
 let mesh ~rows ~cols = Dss.of_netlist (Pmtbr_circuit.Rc_mesh.generate ~rows ~cols ~ports:2 ())
 
@@ -158,17 +154,26 @@ let rom_of sys ~order =
   let pts = Sampling.points (Sampling.Uniform { w_max = 2e10 }) ~count:order in
   (Pmtbr.reduce ~order sys pts).Pmtbr.rom
 
+let arg_int name default =
+  let v = ref default in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then v := int_of_string Sys.argv.(i + 1))
+    Sys.argv;
+  !v
+
 let () =
   let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  let assert_mc = Array.exists (fun a -> a = "--assert-multicore") Sys.argv in
+  let workers = arg_int "--workers" 4 in
   let records =
     if smoke then begin
       (* CI smoke: tiny mesh + tiny ROM, every determinism invariant, no
          timing gate *)
       let sys = mesh ~rows:8 ~cols:8 in
       let om = Vec.linspace 2e8 2e10 16 in
-      let full = bench_case ~name:"rc-mesh-8x8-smoke" ~sys ~omegas:om ~workers:4 ~reps:1 ~tol:1e-9 in
+      let full = bench_case ~name:"rc-mesh-8x8-smoke" ~sys ~omegas:om ~workers ~reps:1 ~tol:1e-9 in
       let rom =
-        bench_case ~name:"rom-q12-smoke" ~sys:(rom_of sys ~order:12) ~omegas:om ~workers:4
+        bench_case ~name:"rom-q12-smoke" ~sys:(rom_of sys ~order:12) ~omegas:om ~workers
           ~reps:1 ~tol:1e-12
       in
       [ full; rom ]
@@ -177,21 +182,28 @@ let () =
       (* the acceptance operand: 33x33 mesh = 1089 states, 200-point grid *)
       let sys = mesh ~rows:33 ~cols:33 in
       let om = Vec.linspace 2e8 2e10 200 in
-      let full = bench_case ~name:"rc-mesh-33x33" ~sys ~omegas:om ~workers:4 ~reps:3 ~tol:1e-9 in
+      let full = bench_case ~name:"rc-mesh-33x33" ~sys ~omegas:om ~workers ~reps:3 ~tol:1e-9 in
       (* ROM sweep: Hessenberg vs the per-point dense LU, denser grid
          because each point is cheap *)
       let rom =
         bench_case ~name:"rom-q40" ~sys:(rom_of sys ~order:40)
-          ~omegas:(Vec.linspace 2e8 2e10 2000) ~workers:4 ~reps:3 ~tol:1e-12
+          ~omegas:(Vec.linspace 2e8 2e10 2000) ~workers ~reps:3 ~tol:1e-12
       in
       [ full; rom ]
     end
   in
   let json = json_of_records records in
-  let oc = open_out "BENCH_sweep.json" in
-  output_string oc json;
-  close_out oc;
-  print_string json;
+  Util.write_json ~file:"BENCH_sweep.json" json;
+  (if assert_mc then
+     (* r.workers records the pool size the engine actually ran with *)
+     let max_actual = List.fold_left (fun m r -> max m r.workers) 0 records in
+     if Util.enforce_multicore ~bench:"sweep_bench" ~gate:"actual_workers > 1" ~need:2 then
+       if max_actual <= 1 then begin
+         Printf.eprintf
+           "[sweep_bench] FAIL: --assert-multicore but the pool never expanded past 1 worker\n%!";
+         exit 1
+       end
+       else Printf.eprintf "[sweep_bench] multicore OK: pool ran %d workers\n%!" max_actual);
   if not smoke then begin
     (* acceptance gate: the engine must sweep the 1089-state mesh >= 3x
        faster than the pre-PR per-point path *)

@@ -1,4 +1,41 @@
-(* Output helpers shared by the figure-regeneration benches. *)
+(* Output helpers shared by the figure-regeneration benches and the
+   BENCH_*.json emitters. *)
+
+(* Every bench opens its JSON object with the host's core count, so the
+   speedup numbers downstream can be read against the hardware they were
+   measured on; [body] fills in the bench-specific fields (no trailing
+   comma needed before the closing brace). *)
+let json_object body =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  body buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Write the JSON next to the working directory and echo it, the
+   convention every bench follows. *)
+let write_json ~file json =
+  let oc = open_out file in
+  output_string oc json;
+  close_out oc;
+  print_string json
+
+(* Speedup gates need real hardware parallelism; correctness gates never
+   wait for it.  Returns [true] when the gate should be enforced, [false]
+   after printing the documented skip (single-core CI hosts). *)
+let enforce_multicore ~bench ~gate ~need =
+  let cores = Domain.recommended_domain_count () in
+  if cores >= need then true
+  else begin
+    Printf.eprintf
+      "[%s] SKIP (documented): %s needs >= %d cores but this host recommends %d domain(s); \
+       the correctness gates above still ran\n%!"
+      bench gate need cores;
+    false
+  end
 
 let header fig title =
   Printf.printf "\n== %s: %s ==\n%!" fig title

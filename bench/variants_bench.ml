@@ -184,10 +184,7 @@ let determinism_checks ~sys ~points =
   Printf.eprintf "[variants_bench] determinism OK\n%!"
 
 let json_of_records records =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Util.json_object @@ fun buf ->
   Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i r ->
@@ -207,8 +204,7 @@ let json_of_records records =
       Buffer.add_string buf
         (Printf.sprintf "    }%s\n" (if i = List.length records - 1 then "" else ",")))
     records;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  Buffer.add_string buf "  ]\n"
 
 let () =
   let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
@@ -231,10 +227,7 @@ let () =
     end
   in
   let json = json_of_records records in
-  let oc = open_out "BENCH_variants.json" in
-  output_string oc json;
-  close_out oc;
-  print_string json;
+  Util.write_json ~file:"BENCH_variants.json" json;
   if not smoke then begin
     (* acceptance gate: the compressed pencil must be >= 2x the dense
        state-dimension QR on the projection stage *)

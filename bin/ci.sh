@@ -35,6 +35,17 @@ OCAMLRUNPARAM=b dune exec bench/serve_bench.exe -- --smoke
 echo "== realizable-ROM smoke bench (parse throughput + passive col-solve ratio + roundtrip)"
 OCAMLRUNPARAM=b dune exec bench/export_bench.exe -- --smoke
 
+echo "== hierarchical-reduction smoke bench (flat-vs-hier agreement + worker invariance)"
+OCAMLRUNPARAM=b dune exec bench/hier_bench.exe -- --smoke
+
+echo "== real-multicore lane (shift/sweep/hier smoke at 4 workers)"
+# each bench asserts its pool really expanded past one domain, or prints
+# a documented SKIP on single-core hosts (the correctness gates above
+# run either way)
+OCAMLRUNPARAM=b dune exec bench/shift_bench.exe -- --smoke --workers 4 --assert-multicore
+OCAMLRUNPARAM=b dune exec bench/sweep_bench.exe -- --smoke --workers 4 --assert-multicore
+OCAMLRUNPARAM=b dune exec bench/hier_bench.exe -- --smoke --workers 4 --assert-multicore
+
 echo "== CLI export roundtrip (tbr-passive reduce --export, file re-parsed and swept)"
 EXPORT_NL=".ci_export_$$.sp"
 rm -f "$EXPORT_NL"
@@ -66,6 +77,10 @@ dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6
 # incremental: new band on the same network reuses the prepared handle
 dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6 \
     --band 1e8:1e10 --order 8 --samples 10
+# hierarchical job: partitioned sampling tiers, repeated so the second
+# run lands on warm per-subdomain sample caches
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 8 \
+    --method hier --partition 2 --band 0:2e10 --order 8 --samples 8 --repeat 2
 # a tbr-passive export job: the response body carries the synthesized
 # netlist, which must re-parse as a circuit source
 DAEMON_NL=".ci_daemon_export_$$.sp"

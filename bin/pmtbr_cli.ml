@@ -229,10 +229,12 @@ type meth =
   | M_two_step
   | M_pod
   | M_tbr_passive
+  | M_hier
 
 let method_names =
   [
     ("pmtbr", M_pmtbr);
+    ("hier", M_hier);
     ("fs-pmtbr", M_fs);
     ("prima", M_prima);
     ("tbr", M_tbr);
@@ -253,6 +255,16 @@ let method_arg =
 
 let order_arg =
   Arg.(value & opt (some int) None & info [ "order" ] ~docv:"Q" ~doc:"Target reduced order.")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "partition" ] ~docv:"K"
+        ~doc:
+          "Subdomain count for the hierarchical method (default 4 when --method hier).  \
+           Giving --partition with the default method switches it to hier; combining it \
+           with any other method is an error.")
 
 let tol_arg =
   Arg.(
@@ -329,8 +341,15 @@ let lyap_stop band =
       Some (Lr_lyap.Band_residual (Array.map (fun p -> (p.Sampling.s, p.Sampling.weight)) bpts))
   | _ -> None
 
-let run_reduce circuit spice size ports seed meth order tol samples band workers stats adaptive
-    draws export =
+let run_reduce circuit spice size ports seed meth partition order tol samples band workers stats
+    adaptive draws export =
+  let meth =
+    match (meth, partition) with
+    | M_pmtbr, Some _ -> M_hier
+    | M_hier, _ -> M_hier
+    | m, Some _ when m <> M_hier -> failwith "--partition only applies to --method hier"
+    | m, _ -> m
+  in
   let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
   let sys = Dss.of_netlist nl in
   let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
@@ -354,6 +373,23 @@ let run_reduce circuit spice size ports seed meth order tol samples band workers
         let r, st = Pmtbr.reduce_stats ?order ?tol ?workers sys pts in
         (r.Pmtbr.rom, None, Some st)
     | M_pmtbr -> ((Pmtbr.reduce ?order ?tol ?workers sys pts).Pmtbr.rom, None, None)
+    | M_hier ->
+        if adaptive then no_adaptive "hier";
+        let parts = Option.value partition ~default:4 in
+        let rom, hst = Hier_reduce.reduce_stats ?order ?tol ?workers ~parts nl pts in
+        if stats then begin
+          Printf.printf "partitions:        %d (interface states kept exact: %d)\n"
+            hst.Hier_reduce.parts hst.Hier_reduce.interface;
+          Printf.printf "subdomain orders:  %s\n"
+            (String.concat " "
+               (Array.to_list (Array.map string_of_int hst.Hier_reduce.sub_orders)));
+          Printf.printf "shifted solves:    %d (per subdomain; no global factorization)\n"
+            hst.Hier_reduce.solves;
+          Printf.printf "subdomain wall:    %s s\n"
+            (String.concat " "
+               (Array.to_list (Array.map (Printf.sprintf "%.4f") hst.Hier_reduce.sub_wall_s)))
+        end;
+        (rom, None, None)
     | M_fs ->
         let lo, hi = match band with Some b -> b | None -> (0.0, w_hi) in
         let bands = [ Freq_selective.band ~lo ~hi ] in
@@ -504,8 +540,8 @@ let reduce_cmd =
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
       const run_reduce $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ method_arg
-      $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg $ stats_arg $ adaptive_arg
-      $ draws_arg $ export_file_arg)
+      $ partition_arg $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg $ stats_arg
+      $ adaptive_arg $ draws_arg $ export_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* adaptive                                                            *)
@@ -711,8 +747,12 @@ let roundtrip conn req =
   (match r.Sproto.status with Ok () -> () | Error msg -> failwith ("server error: " ^ msg));
   r
 
-let run_batch socket ping server_stats shutdown circuit spice size ports seed meth band tol
-    order samples repeat assert_warm export_out =
+let run_batch socket ping server_stats shutdown circuit spice size ports seed meth partition
+    band tol order samples repeat assert_warm export_out =
+  (* --partition with the default method implies hier, mirroring reduce *)
+  let meth =
+    match (meth, partition) with Sproto.Pmtbr, Some _ -> Sproto.Hier | m, _ -> m
+  in
   Sclient.with_connection socket (fun conn ->
       if ping then print_fields (roundtrip conn Sproto.Ping)
       else if server_stats then print_fields (roundtrip conn Sproto.Stats)
@@ -732,7 +772,8 @@ let run_batch socket ping server_stats shutdown circuit spice size ports seed me
         in
         let job =
           Sproto.Reduce
-            { Sproto.meth; band; tol; order; samples; export = export_out <> None; netlist }
+            { Sproto.meth; band; tol; order; samples; partition;
+              export = export_out <> None; netlist }
         in
         let repeat = max 1 repeat in
         let walls = Array.make repeat 0.0 in
@@ -807,8 +848,8 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ socket_arg $ ping $ stats $ shutdown $ circuit_arg $ spice_arg
-      $ size_arg $ ports_arg $ seed_arg $ serve_method_arg $ band_arg $ tol_arg $ order_arg
-      $ samples_arg $ repeat $ assert_warm $ export_out)
+      $ size_arg $ ports_arg $ seed_arg $ serve_method_arg $ partition_arg $ band_arg $ tol_arg
+      $ order_arg $ samples_arg $ repeat $ assert_warm $ export_out)
 
 (* ------------------------------------------------------------------ *)
 

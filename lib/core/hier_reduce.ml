@@ -1,0 +1,229 @@
+(* Hierarchical (domain-decomposed) PMTBR: the back half of the
+   partition -> per-subdomain sampling -> interface-preserving
+   recombination pipeline.
+
+   Each subdomain runs the ordinary PMTBR sampling pipeline on its
+   interior block — its own [Dss.multi_shift] handle inside a
+   [Sample_cache] with the part's [Fixed_rhs] (ports + coupling
+   directions) — yielding an orthonormal interior basis V_k.  The
+   recombination basis is blkdiag(V_1 .. V_K, I_interface): interface
+   states are kept exactly, so port behavior converges to the flat
+   reduction as the subdomain bases do, and with untruncated bases the
+   projection is an exact congruence transform of the full model.
+
+   Subdomains are fanned across the shared [Scheduler] domain pool.  Each
+   subdomain job runs its solver and dense kernels with [workers:1] and
+   everything it computes is a pure function of (partition, points,
+   order/tol) — never of the pool size or the completion order — so the
+   recombined ROM is bitwise-identical for any worker count, the same
+   contract Shift_engine established. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type sub = {
+  basis : Mat.t;
+  singular_values : float array;
+  sub_order : int;
+  solves : int;
+}
+
+type stats = {
+  parts : int;
+  interface : int;
+  states : int;
+  order : int;
+  sub_orders : int array;
+  solves : int;
+  sub_wall_s : float array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-subdomain sampling                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_part ?(workers = 1) ?(oversubscribe = false) (part : Partition.part) points =
+  let cache =
+    Sample_cache.create ~workers ~oversubscribe ~source:(Sample_cache.Fixed_rhs part.Partition.rhs)
+      part.Partition.sys
+  in
+  Sample_cache.extend cache points;
+  cache
+
+let basis_of_part ?order ?tol ?(workers = 1) (part : Partition.part) cache ~samples () =
+  let r =
+    Pmtbr.of_cache part.Partition.sys cache ~scale:1.0 ?order ?tol ~workers ~samples ()
+  in
+  {
+    basis = r.Pmtbr.basis;
+    singular_values = r.Pmtbr.singular_values;
+    sub_order = r.Pmtbr.basis.Mat.cols;
+    solves = (Sample_cache.stats cache).Sample_cache.solves;
+  }
+
+(* A part whose rhs has no columns (no ports, no couplings: a floating
+   fragment) contributes nothing observable; its basis is empty. *)
+let empty_sub (part : Partition.part) =
+  {
+    basis = Mat.create (Pmtbr_lti.Dss.order part.Partition.sys) 0;
+    singular_values = [||];
+    sub_order = 0;
+    solves = 0;
+  }
+
+let reduce_part ?order ?tol (part : Partition.part) points =
+  if part.Partition.rhs.Mat.cols = 0 then empty_sub part
+  else
+    let cache = sample_part part points in
+    basis_of_part ?order ?tol part cache ~samples:(Array.length points) ()
+
+(* ------------------------------------------------------------------ *)
+(* Interface-preserving recombination                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Assemble the projected model for the basis blkdiag(V_1..V_K, I):
+   diagonal blocks are V_k^T E_k V_k, coupling blocks contract one side
+   with V_k and keep the interface side exact, and the interface block is
+   copied verbatim.  All loops run in fixed (partition) order. *)
+let recombine (pt : Partition.t) (bases : Mat.t array) =
+  let k = Array.length pt.Partition.parts in
+  if Array.length bases <> k then invalid_arg "Hier_reduce.recombine: one basis per part";
+  let offsets = Array.make (k + 1) 0 in
+  for i = 0 to k - 1 do
+    offsets.(i + 1) <- offsets.(i) + bases.(i).Mat.cols
+  done;
+  let goff = offsets.(k) in
+  let m = Array.length pt.Partition.interface in
+  let q = goff + m in
+  let ehat = Mat.create q q and ahat = Mat.create q q in
+  let bhat = Mat.create q pt.Partition.p and chat = Mat.create pt.Partition.p q in
+  Array.iteri
+    (fun i part ->
+      let v = bases.(i) in
+      let off = offsets.(i) in
+      let qi = v.Mat.cols in
+      let place dst block =
+        for r = 0 to qi - 1 do
+          for c = 0 to qi - 1 do
+            Mat.set dst (off + r) (off + c) (Mat.get block r c)
+          done
+        done
+      in
+      let vt = Mat.transpose v in
+      place ehat (Mat.mul vt (Dss.apply_e part.Partition.sys v));
+      place ahat (Mat.mul vt (Dss.apply_a part.Partition.sys v));
+      (* interior -> interface coupling: rows contract with V_k *)
+      let scatter_ig dst entries =
+        Array.iter
+          (fun (l, g, x) ->
+            for r = 0 to qi - 1 do
+              Mat.update dst (off + r) (goff + g) (fun acc -> acc +. (x *. Mat.get v l r))
+            done)
+          entries
+      in
+      scatter_ig ehat part.Partition.e_ig;
+      scatter_ig ahat part.Partition.a_ig;
+      (* interface -> interior coupling: columns contract with V_k *)
+      let scatter_gi dst entries =
+        Array.iter
+          (fun (g, l, x) ->
+            for c = 0 to qi - 1 do
+              Mat.update dst (goff + g) (off + c) (fun acc -> acc +. (x *. Mat.get v l c))
+            done)
+          entries
+      in
+      scatter_gi ehat part.Partition.e_gi;
+      scatter_gi ahat part.Partition.a_gi;
+      (* port maps restricted to the interior, contracted with V_k *)
+      Array.iteri
+        (fun l gstate ->
+          for j = 0 to pt.Partition.p - 1 do
+            let bval = Mat.get pt.Partition.b gstate j in
+            if bval <> 0.0 then
+              for r = 0 to qi - 1 do
+                Mat.update bhat (off + r) j (fun acc -> acc +. (bval *. Mat.get v l r))
+              done;
+            let cval = Mat.get pt.Partition.c j gstate in
+            if cval <> 0.0 then
+              for c = 0 to qi - 1 do
+                Mat.update chat j (off + c) (fun acc -> acc +. (cval *. Mat.get v l c))
+              done
+          done)
+        part.Partition.states)
+    pt.Partition.parts;
+  (* interface block and port rows, kept exactly *)
+  Array.iter
+    (fun (g1, g2, x) -> Mat.update ehat (goff + g1) (goff + g2) (fun acc -> acc +. x))
+    pt.Partition.e_gg;
+  Array.iter
+    (fun (g1, g2, x) -> Mat.update ahat (goff + g1) (goff + g2) (fun acc -> acc +. x))
+    pt.Partition.a_gg;
+  Array.iteri
+    (fun g gstate ->
+      for j = 0 to pt.Partition.p - 1 do
+        Mat.set bhat (goff + g) j (Mat.get pt.Partition.b gstate j);
+        Mat.set chat j (goff + g) (Mat.get pt.Partition.c j gstate)
+      done)
+    pt.Partition.interface;
+  Dss.of_dense ~e:ehat ~a:ahat ~b:bhat ~c:chat
+
+(* ------------------------------------------------------------------ *)
+(* Fan-out driver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_partitioned ?order ?tol ?workers ?(oversubscribe = false) (pt : Partition.t) points =
+  let k = Array.length pt.Partition.parts in
+  let requested = match workers with Some w -> w | None -> Par_kernel.default_workers () in
+  let cap = if oversubscribe then requested else Domain.recommended_domain_count () in
+  let nw = max 1 (min (min requested cap) k) in
+  if requested > 1 && nw = 1 && k > 1 then
+    Par_kernel.warn_worker_collapse ~context:"the hierarchical subdomain pool" ~requested ();
+  let results : (sub, exn) result option array = Array.make k None in
+  let walls = Array.make k 0.0 in
+  let run i =
+    let t0 = Unix.gettimeofday () in
+    let r = try Ok (reduce_part ?order ?tol pt.Partition.parts.(i) points) with e -> Error e in
+    walls.(i) <- Unix.gettimeofday () -. t0;
+    results.(i) <- Some r
+  in
+  if nw <= 1 then
+    for i = 0 to k - 1 do
+      run i
+    done
+  else begin
+    let pool = Scheduler.create ~workers:nw run in
+    for i = 0 to k - 1 do
+      ignore (Scheduler.submit pool i)
+    done;
+    Scheduler.stop pool
+  end;
+  (* propagate the lowest-index failure, as Shift_engine does *)
+  let subs =
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some (Ok s) -> s
+        | Some (Error e) -> raise e
+        | None -> invalid_arg (Printf.sprintf "Hier_reduce: subdomain %d never ran" i))
+      results
+  in
+  let rom = recombine pt (Array.map (fun s -> s.basis) subs) in
+  let stats =
+    {
+      parts = k;
+      interface = Array.length pt.Partition.interface;
+      states = pt.Partition.n;
+      order = Dss.order rom;
+      sub_orders = Array.map (fun s -> s.sub_order) subs;
+      solves = Array.fold_left (fun acc (s : sub) -> acc + s.solves) 0 subs;
+      sub_wall_s = walls;
+    }
+  in
+  (rom, stats)
+
+let reduce_stats ?order ?tol ?workers ?oversubscribe ?sketch ~parts nl points =
+  let pt = Partition.split ~parts ?sketch nl in
+  reduce_partitioned ?order ?tol ?workers ?oversubscribe pt points
+
+let reduce ?order ?tol ?workers ?oversubscribe ?sketch ~parts nl points =
+  fst (reduce_stats ?order ?tol ?workers ?oversubscribe ?sketch ~parts nl points)

@@ -1,0 +1,83 @@
+(** Hierarchical domain-decomposed PMTBR: {!Partition.split} the netlist,
+    run the ordinary sampling pipeline per subdomain (each interior gets
+    its own [Dss.multi_shift] handle inside a {!Sample_cache} with the
+    part's ports-plus-couplings [Fixed_rhs]), and recombine with the
+    interface-preserving block basis blkdiag(V_1 .. V_K, I) — interface
+    states are kept exactly, so with untruncated subdomain bases the
+    result is an exact congruence transform of the full model, and with
+    truncated bases port behavior matches flat reduction to the
+    truncation tolerance.
+
+    No step ever pays a global factorization: the largest sparse LU is a
+    subdomain interior, which is what lets networks beyond the flat
+    path's reach complete.
+
+    {b Determinism.}  Subdomains fan across the shared
+    {!Pmtbr_la.Scheduler} pool but each job runs its solves and dense
+    kernels serially and computes a pure function of (partition, points,
+    order/tol) — the recombined ROM is bitwise-identical for any
+    [workers] (or [oversubscribe]) setting, the contract Shift_engine
+    established and CI enforces for this layer too. *)
+
+open Pmtbr_la
+open Pmtbr_lti
+
+type sub = {
+  basis : Mat.t;  (** interior projection basis V_k, orthonormal columns *)
+  singular_values : float array;  (** subdomain sample singular values *)
+  sub_order : int;  (** columns kept *)
+  solves : int;  (** shifted solves this subdomain performed *)
+}
+
+type stats = {
+  parts : int;
+  interface : int;  (** interface state count (kept exactly) *)
+  states : int;  (** full-model state count *)
+  order : int;  (** recombined ROM order = sum sub_orders + interface *)
+  sub_orders : int array;
+  solves : int;  (** total shifted solves across subdomains *)
+  sub_wall_s : float array;  (** per-subdomain wall seconds, partition order *)
+}
+
+val sample_part :
+  ?workers:int -> ?oversubscribe:bool -> Partition.part -> Sampling.point array -> Sample_cache.t
+(** Solve the part's sampling right-hand side at every point through a
+    fresh subdomain cache (its own multi-shift handle; [workers] defaults
+    to 1 — fan-out parallelism lives across subdomains, not inside one).
+    The store keeps these caches warm across jobs, keyed by the part's
+    sub-netlist hash. *)
+
+val basis_of_part :
+  ?order:int -> ?tol:float -> ?workers:int -> Partition.part -> Sample_cache.t ->
+  samples:int -> unit -> sub
+(** Finish one subdomain through {!Pmtbr.of_cache}: SVD of the cache's
+    small factor, basis lifted from its thin Q.  [order]/[tol] bound each
+    subdomain's kept columns (same semantics as {!Pmtbr.choose_order}). *)
+
+val reduce_part : ?order:int -> ?tol:float -> Partition.part -> Sampling.point array -> sub
+(** {!sample_part} then {!basis_of_part}; a part with an empty sampling
+    right-hand side (floating fragment) yields an empty basis. *)
+
+val recombine : Partition.t -> Mat.t array -> Dss.t
+(** Project the partitioned model through blkdiag(bases, I_interface):
+    dense (order x order) reduced system with the interface block exact.
+    Raises [Invalid_argument] unless given one basis per part. *)
+
+val reduce_partitioned :
+  ?order:int -> ?tol:float -> ?workers:int -> ?oversubscribe:bool ->
+  Partition.t -> Sampling.point array -> Dss.t * stats
+(** Fan {!reduce_part} over the subdomains on a [Scheduler] pool of
+    [min workers (recommended cap) parts] domains ([oversubscribe] lifts
+    the hardware cap, as in {!Shift_engine}), then {!recombine}.  A
+    subdomain failure re-raises the lowest-index exception after the pool
+    drains.  Bitwise worker-invariant. *)
+
+val reduce_stats :
+  ?order:int -> ?tol:float -> ?workers:int -> ?oversubscribe:bool -> ?sketch:int ->
+  parts:int -> Pmtbr_circuit.Netlist.t -> Sampling.point array -> Dss.t * stats
+(** {!Partition.split} then {!reduce_partitioned}. *)
+
+val reduce :
+  ?order:int -> ?tol:float -> ?workers:int -> ?oversubscribe:bool -> ?sketch:int ->
+  parts:int -> Pmtbr_circuit.Netlist.t -> Sampling.point array -> Dss.t
+(** {!reduce_stats} without the counters. *)

@@ -1,0 +1,76 @@
+(** Nested-dissection-style partitioner over the MNA state graph — the
+    front half of the hierarchical (domain-decomposed) reduction path.
+
+    {!split} stamps the netlist once, cuts the state graph (symmetrized
+    union pattern of E and A) into [parts] pieces by recursive level-set
+    bisection, and promotes one endpoint of every cross-part entry into a
+    global {e interface} set, so what remains is block-bordered-diagonal:
+    decoupled per-part interiors, per-part <-> interface couplings, and
+    the interface block.  Each interior is re-expressed as a standalone
+    sub-netlist with interface nodes mapped to ground — an {e exact}
+    reconstruction of the interior stamp (the grounded copy of a
+    boundary element contributes the same diagonal entries; the dropped
+    cross terms are exactly the coupling entries carried separately) — so
+    subdomains are content-addressed by the same canonical-render hash
+    the store uses for whole networks, and the part's local state order
+    is the sub-netlist's own MNA order (shared sub-netlist hash implies
+    shared sample columns).
+
+    Every step is a pure function of the netlist and the options: vertex
+    orderings break ties by global state index, the optional coupling
+    sketch draws from a per-part fixed-seed generator, and nothing
+    consults worker counts — the foundation of {!Hier_reduce}'s bitwise
+    worker-invariance contract. *)
+
+open Pmtbr_la
+
+type entry = int * int * float
+(** One sparse coupling entry: (row, col, value) in the local index pair
+    documented per field below. *)
+
+type part = {
+  states : int array;
+      (** global state index of each local state, in local order *)
+  sys : Pmtbr_lti.Dss.t;
+      (** the interior block as a sparse descriptor system (stamped from
+          [sub_netlist]; its B/C are empty — sampling uses [rhs]) *)
+  sub_netlist : Pmtbr_circuit.Netlist.t;
+      (** interior re-expressed with interface nodes grounded; its
+          canonical render is the subdomain's content address *)
+  rhs : Mat.t;
+      (** sampling right-hand side: global port columns restricted to the
+          interior plus the interface coupling directions (optionally
+          sketched), all-zero columns dropped *)
+  e_ig : entry array;  (** E interior->interface: (local, interface-local, v) *)
+  a_ig : entry array;  (** A interior->interface *)
+  e_gi : entry array;  (** E interface->interior: (interface-local, local, v) *)
+  a_gi : entry array;  (** A interface->interior *)
+}
+
+type t = {
+  parts : part array;  (** non-empty interiors, in partition order *)
+  interface : int array;  (** global state ids of the interface, ascending *)
+  e_gg : entry array;  (** interface block of E, interface-local indices *)
+  a_gg : entry array;  (** interface block of A *)
+  b : Mat.t;  (** global input map (n x p) *)
+  c : Mat.t;  (** global output map (p x n) *)
+  n : int;  (** global state count *)
+  p : int;  (** port count *)
+}
+
+val split : parts:int -> ?sketch:int -> Pmtbr_circuit.Netlist.t -> t
+(** Partition a netlist into (at most) [parts] subdomains.  [sketch]
+    compresses each part's interface coupling directions to at most
+    [sketch] columns through a fixed-seed Gaussian draw (recommended at
+    scale, where a part can touch hundreds of interface states); without
+    it every coupling column is kept, which is what the <= 1e-6
+    flat-agreement cases use.  Raises [Invalid_argument] on an empty
+    netlist, [parts < 1], or if the block structure invariant fails
+    (a cross-part entry surviving promotion — a bug, not an input
+    error). *)
+
+val part_count : t -> int
+val interface_count : t -> int
+
+val part_sizes : t -> int array
+(** Interior state count per part. *)

@@ -108,7 +108,7 @@ let run ?workers ?(oversubscribe = false) ?(chunk = 1) ?ms sys (tasks : task arr
      squeezed down to one domain deserves a (once-per-process) warning:
      the run is correct but effectively serial *)
   if requested > 1 && nw = 1 && nt > 1 then
-    Par_kernel.warn_worker_collapse ~context:"the multi-shift solve pool" ~requested;
+    Par_kernel.warn_worker_collapse ~context:"the multi-shift solve pool" ~requested ();
   (* the template shift is the first task's point — independent of the
      worker count, so serial and parallel runs share it.  A caller that
      extends a sample set incrementally ([Sample_cache]) passes its own

@@ -16,22 +16,34 @@ let default_workers () =
 
 (* A requested multi-worker pool that silently runs on one domain is how
    benchmark numbers lie (every BENCH_* reporting actual_workers: 1 on a
-   one-core host).  Warn once per process, on stderr, so the collapse is
-   visible without changing any result. *)
-let collapse_warned = Atomic.make false
+   one-core host).  Two distinct failure shapes: the pool collapses to one
+   domain at creation (host caps it), or the pool exists but the queue
+   drains onto a single worker (jobs too coarse / submitted serially).
+   Warn once per process per kind, on stderr, without changing any
+   result. *)
+let creation_warned = Atomic.make false
+let serialized_warned = Atomic.make false
 
-let warn_worker_collapse ~context ~requested =
-  if requested > 1 && not (Atomic.exchange collapse_warned true) then
-    Printf.eprintf
-      "pmtbr: warning: %s requested %d workers but this host recommends only %d domain(s); \
-       the pool collapses to 1 and timings are effectively serial (results are unchanged)\n%!"
-      context requested
-      (Domain.recommended_domain_count ())
+let warn_worker_collapse ?(kind = `Creation) ~context ~requested () =
+  match kind with
+  | `Creation ->
+      if requested > 1 && not (Atomic.exchange creation_warned true) then
+        Printf.eprintf
+          "pmtbr: warning: %s requested %d workers but this host recommends only %d domain(s); \
+           the pool collapses to 1 and timings are effectively serial (results are unchanged)\n%!"
+          context requested
+          (Domain.recommended_domain_count ())
+  | `Serialized ->
+      if requested > 1 && not (Atomic.exchange serialized_warned true) then
+        Printf.eprintf
+          "pmtbr: warning: %s spawned %d workers but every job drained onto one domain; \
+           the queue serialized and timings are effectively serial (results are unchanged)\n%!"
+          context requested
 
 let set_default_workers w =
   (match w with
   | Some r when r > 1 && Domain.recommended_domain_count () = 1 ->
-      warn_worker_collapse ~context:"the dense-kernel pool" ~requested:r
+      warn_worker_collapse ~context:"the dense-kernel pool" ~requested:r ()
   | Some _ | None -> ());
   installed_workers := w
 

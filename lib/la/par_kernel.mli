@@ -35,12 +35,17 @@ val set_default_workers : int option -> unit
     [Domain.recommended_domain_count] is 1 triggers
     {!warn_worker_collapse}. *)
 
-val warn_worker_collapse : context:string -> requested:int -> unit
-(** Emit a one-line [stderr] warning (once per process) that a pool
-    [requested > 1] workers but is running on a single domain — the
-    silent-collapse case where parallel timings are really serial.
-    Results are never affected; callers invoke this only after deciding
-    the pool really did collapse. *)
+val warn_worker_collapse :
+  ?kind:[ `Creation | `Serialized ] -> context:string -> requested:int -> unit -> unit
+(** Emit a one-line [stderr] warning (once per process {e per kind}) that
+    a pool [requested > 1] workers but effectively ran on a single domain.
+    [`Creation] (default): the pool collapsed to one domain when it was
+    built — the host caps it.  [`Serialized]: the pool really spawned its
+    workers, but every job drained onto one of them (jobs too coarse, or
+    submitted one at a time) — {!Scheduler.stop} detects and reports this
+    case from its per-worker job counts.  Results are never affected;
+    callers invoke this only after deciding the pool really did run
+    serially. *)
 
 val parallel_ranges : ?workers:int -> work:int -> int -> (int -> int -> unit) -> unit
 (** [parallel_ranges ~work n f] partitions [0..n-1] into at most [workers]

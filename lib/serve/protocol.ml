@@ -123,10 +123,10 @@ let render lines body =
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type meth = Pmtbr | Fs_pmtbr | Tbr_passive
+type meth = Pmtbr | Fs_pmtbr | Tbr_passive | Hier
 
 let meth_names =
-  [ ("pmtbr", Pmtbr); ("fs-pmtbr", Fs_pmtbr); ("tbr-passive", Tbr_passive) ]
+  [ ("pmtbr", Pmtbr); ("fs-pmtbr", Fs_pmtbr); ("tbr-passive", Tbr_passive); ("hier", Hier) ]
 
 let meth_name m = fst (List.find (fun (_, m') -> m' = m) meth_names)
 
@@ -136,6 +136,7 @@ type job = {
   tol : float option;
   order : int option;
   samples : int;
+  partition : int option;
   export : bool;
   netlist : string;
 }
@@ -156,6 +157,7 @@ let encode_request = function
         @ (match j.tol with Some t -> [ ("tol", Printf.sprintf "%.17g" t) ] | None -> [])
         @ (match j.order with Some q -> [ ("order", string_of_int q) ] | None -> [])
         @ [ ("samples", string_of_int j.samples) ]
+        @ (match j.partition with Some k -> [ ("partition", string_of_int k) ] | None -> [])
         @ (if j.export then [ ("export", "1") ] else [])
       in
       render lines j.netlist
@@ -206,6 +208,15 @@ let parse_reduce kvs body =
         | Some n -> Error (Printf.sprintf "samples must be in [1, 100000] (got %d)" n)
         | None -> Error (Printf.sprintf "unparsable samples %S" s))
   in
+  let* partition =
+    match lookup "partition" with
+    | None -> Ok None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some k when k >= 1 && k <= 4096 -> Ok (Some k)
+        | Some k -> Error (Printf.sprintf "partition must be in [1, 4096] (got %d)" k)
+        | None -> Error (Printf.sprintf "unparsable partition %S" s))
+  in
   let* export =
     match lookup "export" with
     | None -> Ok false
@@ -213,8 +224,13 @@ let parse_reduce kvs body =
     | Some ("0" | "false") -> Ok false
     | Some s -> Error (Printf.sprintf "export must be 0 or 1 (got %S)" s)
   in
+  let* () =
+    match (meth, partition) with
+    | Hier, _ | _, None -> Ok ()
+    | _, Some _ -> Error "partition only applies to method hier"
+  in
   if String.trim body = "" then Error "reduce job is missing the netlist body"
-  else Ok (Reduce { meth; band; tol; order; samples; export; netlist = body })
+  else Ok (Reduce { meth; band; tol; order; samples; partition; export; netlist = body })
 
 let parse_request payload =
   let headers, body = split_payload payload in

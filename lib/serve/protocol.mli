@@ -46,7 +46,7 @@ val parse_band : string -> (float * float, string) result
 
 (** {1 Requests} *)
 
-type meth = Pmtbr | Fs_pmtbr | Tbr_passive
+type meth = Pmtbr | Fs_pmtbr | Tbr_passive | Hier
 
 val meth_names : (string * meth) list
 val meth_name : meth -> string
@@ -57,6 +57,9 @@ type job = {
   tol : float option;  (** singular-value tail tolerance, finite [> 0] *)
   order : int option;  (** explicit reduced order, [>= 1] *)
   samples : int;  (** frequency points, [>= 1] (default {!default_samples}) *)
+  partition : int option;
+      (** subdomain count for [Hier], in [1, 4096]; rejected on other
+          methods *)
   export : bool;  (** synthesize the ROM back to a netlist in the response body *)
   netlist : string;  (** inline SPICE-dialect netlist text *)
 }

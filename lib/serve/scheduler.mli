@@ -1,9 +1,15 @@
 (** Fixed pool of worker domains draining a shared job queue — how the
     server fans concurrent connections across the machine while each job
     keeps the bitwise worker-invariance contract (the result of a job
-    never depends on which worker ran it, or when). *)
+    never depends on which worker ran it, or when).
 
-type 'a t
+    This is {!Pmtbr_la.Scheduler}, re-exported: the pool moved down to
+    the linear-algebra layer so {!Pmtbr_core.Hier_reduce} can fan
+    subdomains across the same machinery.  [stop] additionally reports
+    queue serialization (pool spawned, jobs all on one domain) through
+    [Par_kernel.warn_worker_collapse ~kind:`Serialized]. *)
+
+type 'a t = 'a Pmtbr_la.Scheduler.t
 
 val create : workers:int -> ('a -> unit) -> 'a t
 (** Spawn [max 1 workers] domains running the handler on submitted jobs.
@@ -16,3 +22,6 @@ val submit : 'a t -> 'a -> bool
 val stop : 'a t -> unit
 (** Drain outstanding jobs, then join every worker.  Idempotent in effect;
     must be called from the domain that owns the pool. *)
+
+val busiest_share : 'a t -> int * int
+(** [(jobs_on_busiest_worker, total_jobs)] — see {!Pmtbr_la.Scheduler}. *)

@@ -54,10 +54,25 @@ let fields_of_counters (c : Store.counters) =
     ("evictions", string_of_int c.Store.evictions);
   ]
 
+(* One field per hierarchically-served network: its partition count and
+   the per-subdomain warm/cold sample-tier counters, slot-aligned. *)
+let fields_of_hier hs =
+  List.map
+    (fun (hash, (hn : Store.hier_net)) ->
+      let ints a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
+      ( "hier_" ^ hash,
+        Printf.sprintf "partitions=%d sub_hits=%s sub_misses=%s" hn.Store.partitions
+          (ints hn.Store.sub_hits) (ints hn.Store.sub_misses) ))
+    hs
+
 let respond store ~shutdown request =
   match (request : Protocol.request) with
   | Ping -> Protocol.ok ~fields:[ ("pong", "1") ] ()
-  | Stats -> Protocol.ok ~fields:(fields_of_counters (Store.counters store)) ()
+  | Stats ->
+      Protocol.ok
+        ~fields:
+          (fields_of_counters (Store.counters store) @ fields_of_hier (Store.hier_stats store))
+        ()
   | Shutdown ->
       Atomic.set shutdown true;
       Protocol.ok ~fields:[ ("stopping", "1") ] ()
@@ -65,7 +80,8 @@ let respond store ~shutdown request =
       match
         Store.reduce store ~netlist:j.Protocol.netlist ~meth:j.Protocol.meth
           ~band:j.Protocol.band ?tol:j.Protocol.tol ?order:j.Protocol.order
-          ~export:j.Protocol.export ~samples:j.Protocol.samples ()
+          ?partition:j.Protocol.partition ~export:j.Protocol.export
+          ~samples:j.Protocol.samples ()
       with
       | Ok outcome ->
           let fields = fields_of_outcome outcome in

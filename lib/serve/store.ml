@@ -22,7 +22,11 @@
 open Pmtbr_core
 open Pmtbr_lti
 
-type network = { sys : Dss.t; ms : Dss.multi_shift; lock : Mutex.t }
+(* The multi-shift handle is lazy: flat methods force it (paying the
+   global symbolic analysis once per network), while hierarchical jobs
+   never do — their factorizations live per subdomain, which is the whole
+   point of serving networks beyond one global sparse LU. *)
+type network = { sys : Dss.t; ms : Dss.multi_shift Lazy.t; lock : Mutex.t }
 
 type samples_entry = { cache : Sample_cache.t }
 
@@ -33,7 +37,20 @@ type rom_entry = {
   r_digest : string;
 }
 
-type entry = Network of network | Samples of samples_entry | Rom of rom_entry
+type entry =
+  | Network of network
+  | Samples of samples_entry
+  | Rom of rom_entry
+  | Part of Partition.t
+
+(* Per-network hierarchical counters (satellite of the stats response):
+   how the network was last partitioned and, per subdomain slot, how
+   often its sample columns were already warm.  Guarded by [t.lock]. *)
+type hier_net = {
+  partitions : int;
+  sub_hits : int array;
+  sub_misses : int array;
+}
 
 type mutable_counters = {
   mutable c_jobs : int;
@@ -51,6 +68,7 @@ type t = {
   lru : entry Lru.t;
   lock : Mutex.t;
   ctr : mutable_counters;
+  hier : (string, hier_net) Hashtbl.t;  (* network hash -> counters *)
   job_workers : int;
 }
 
@@ -72,7 +90,7 @@ let create ?(max_cost = 256 * 1024 * 1024) ?(job_workers = 1) () =
      [t.lock] — the counter bump is already serialised *)
   let lru = Lru.create ~on_evict:(fun _ _ -> ctr.c_evictions <- ctr.c_evictions + 1) ~max_cost ()
   in
-  { lru; lock = Mutex.create (); ctr; job_workers = max 1 job_workers }
+  { lru; lock = Mutex.create (); ctr; hier = Hashtbl.create 16; job_workers = max 1 job_workers }
 
 type tier = Rom_hit | Samples_hit | Network_hit | Miss
 
@@ -125,6 +143,15 @@ let counters t =
         evictions = t.ctr.c_evictions;
       })
 
+let hier_stats t =
+  with_lock t.lock (fun () ->
+      Hashtbl.fold
+        (fun hash hn acc ->
+          (hash, { hn with sub_hits = Array.copy hn.sub_hits; sub_misses = Array.copy hn.sub_misses })
+          :: acc)
+        t.hier []
+      |> List.sort compare)
+
 (* ------------------------------------------------------------------ *)
 (* Content addressing                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -169,8 +196,8 @@ let rom_digest rom =
    at 0 means uniform sampling of [0, hi].) *)
 let scheme_of ~meth ~band:(lo, hi) =
   match (meth : Protocol.meth) with
-  | Pmtbr when lo <= 0.0 -> Sampling.Uniform { w_max = hi }
-  | Pmtbr | Fs_pmtbr | Tbr_passive -> Sampling.Bands [ (lo, hi) ]
+  | (Pmtbr | Hier) when lo <= 0.0 -> Sampling.Uniform { w_max = hi }
+  | Pmtbr | Fs_pmtbr | Tbr_passive | Hier -> Sampling.Bands [ (lo, hi) ]
 
 let scheme_descriptor ~meth ~band:(lo, hi) ~samples =
   let kind =
@@ -183,11 +210,28 @@ let network_key hash = "net|" ^ hash
 let samples_key hash ~meth ~band ~samples =
   Printf.sprintf "smp|%s|%s" hash (scheme_descriptor ~meth ~band ~samples)
 
-let rom_key hash ~meth ~band ~tol ~order ~samples =
-  Printf.sprintf "rom|%s|%s|%s|tol=%s|order=%s" hash (Protocol.meth_name meth)
+let rom_key hash ~meth ~band ~tol ~order ~samples ~partition =
+  Printf.sprintf "rom|%s|%s|%s|tol=%s|order=%s%s" hash (Protocol.meth_name meth)
     (scheme_descriptor ~meth ~band ~samples)
     (match tol with Some t -> Printf.sprintf "%.17g" t | None -> "default")
     (match order with Some q -> string_of_int q | None -> "auto")
+    (match partition with Some k -> Printf.sprintf "|parts=%d" k | None -> "")
+
+let part_key hash ~parts = Printf.sprintf "part|%s|%d" hash parts
+
+(* Subdomain sample columns are addressed by what they are a pure
+   function of: the interior's canonical sub-netlist render, the sampling
+   right-hand side, and the point scheme — so two networks sharing an
+   identical subdomain share its solved columns, and a re-partitioned
+   network re-finds any subdomain that came out the same. *)
+let sub_hash (part : Partition.part) =
+  let ir = Pmtbr_circuit.Spice_ir.of_netlist part.Partition.sub_netlist in
+  Digest.to_hex (Digest.string (Pmtbr_circuit.Spice_ir.render (Pmtbr_circuit.Spice_ir.canonical ir)))
+
+let hier_samples_key part ~meth ~band ~samples =
+  Printf.sprintf "hsmp|%s|%s|%s" (sub_hash part)
+    (Digest.to_hex (Digest.string (Marshal.to_string part.Partition.rhs [])))
+    (scheme_descriptor ~meth ~band ~samples)
 
 (* Approximate byte footprints driving the LRU budget. *)
 let network_cost ~canonical sys = String.length canonical + (64 * Dss.order sys) + 1024
@@ -198,6 +242,17 @@ let samples_cost sys cache =
 
 let rom_cost (r : rom_entry) =
   (32 * r.r_order * r.r_order) + (8 * Array.length r.r_sigma) + 1024
+
+let part_cost (pt : Partition.t) =
+  Array.fold_left
+    (fun acc (p : Partition.part) ->
+      acc
+      + (8 * p.Partition.rhs.Pmtbr_la.Mat.rows * p.Partition.rhs.Pmtbr_la.Mat.cols)
+      + 48
+        * (Array.length p.Partition.e_ig + Array.length p.Partition.a_ig
+          + Array.length p.Partition.e_gi + Array.length p.Partition.a_gi))
+    ((64 * pt.Partition.n) + 4096)
+    pt.Partition.parts
 
 (* ------------------------------------------------------------------ *)
 (* Job execution                                                       *)
@@ -211,6 +266,9 @@ let find_samples t key =
 
 let find_rom t key =
   match Lru.find t.lru key with Some (Rom r) -> Some r | Some _ | None -> None
+
+let find_part t key =
+  match Lru.find t.lru key with Some (Part p) -> Some p | Some _ | None -> None
 
 let outcome_of_rom ~tier ~hash ~solves ~wall ~netlist sys (r : rom_entry) =
   {
@@ -240,15 +298,23 @@ let export_of_rom ~export rom =
     | exception Pmtbr_circuit.Synth.Unrealizable msg ->
         Error ("export failed: ROM is not realizable: " ^ msg)
 
-let reduce t ~netlist ~meth ~band ?tol ?order ?(export = false) ~samples () =
+let default_partition = 4
+
+let reduce t ~netlist ~meth ~band ?tol ?order ?partition ?(export = false) ~samples () =
   let t0 = Unix.gettimeofday () in
   let ( let* ) = Result.bind in
   let* band = Protocol.validate_band band in
   if samples < 1 then Error (Printf.sprintf "samples must be >= 1 (got %d)" samples)
   else
+    let partition =
+      match (meth, partition) with
+      | Protocol.Hier, None -> Some default_partition
+      | Protocol.Hier, some -> some
+      | _, _ -> None
+    in
     let* nl, canonical = canonicalize netlist in
     let hash = hash_of_canonical canonical in
-    let rkey = rom_key hash ~meth ~band ~tol ~order ~samples in
+    let rkey = rom_key hash ~meth ~band ~tol ~order ~samples ~partition in
     let nkey = network_key hash in
     let skey = samples_key hash ~meth ~band ~samples in
     (* fast path: exact repeat *)
@@ -278,18 +344,22 @@ let reduce t ~netlist ~meth ~band ?tol ?order ?(export = false) ~samples () =
               | Some n -> Ok (n, true)
               | None -> (
                   match Dss.of_netlist nl with
-                  | sys -> (
+                  | sys ->
                       t.ctr.c_parses <- t.ctr.c_parses + 1;
-                      match Dss.multi_shift sys with
-                      | ms ->
-                          t.ctr.c_symbolic <- t.ctr.c_symbolic + 1;
-                          let n = { sys; ms; lock = Mutex.create () } in
-                          Lru.add t.lru nkey ~cost:(network_cost ~canonical sys) (Network n);
-                          Ok (n, false)
-                      | exception e ->
-                          Error
-                            (Printf.sprintf "symbolic analysis failed: %s"
-                               (Printexc.to_string e)))
+                      (* the global symbolic analysis is deferred until a
+                         flat method forces it; the counter bump happens
+                         at force time, under [t.lock] only (we are never
+                         forced while holding it) *)
+                      let ms =
+                        lazy
+                          (let handle = Dss.multi_shift sys in
+                           with_lock t.lock (fun () ->
+                               t.ctr.c_symbolic <- t.ctr.c_symbolic + 1);
+                           handle)
+                      in
+                      let n = { sys; ms; lock = Mutex.create () } in
+                      Lru.add t.lru nkey ~cost:(network_cost ~canonical sys) (Network n);
+                      Ok (n, false)
                   | exception e ->
                       Error (Printf.sprintf "MNA stamping failed: %s" (Printexc.to_string e))))
         in
@@ -305,6 +375,121 @@ let reduce t ~netlist ~meth ~band ?tol ?order ?(export = false) ~samples () =
                   (outcome_of_rom ~tier:Rom_hit ~hash ~solves:0
                      ~wall:(Unix.gettimeofday () -. t0)
                      ~netlist network.sys r)
+            | None when meth = Protocol.Hier -> (
+                (* hierarchical path: partition tier, then per-subdomain
+                   sample tiers keyed by the sub-netlist hash — never the
+                   global samples tier, never the global multi-shift *)
+                let parts = Option.value partition ~default:default_partition in
+                match
+                  let pkey = part_key hash ~parts in
+                  let pt =
+                    match with_lock t.lock (fun () -> find_part t pkey) with
+                    | Some pt -> pt
+                    | None ->
+                        let pt = Partition.split ~parts nl in
+                        with_lock t.lock (fun () ->
+                            Lru.add t.lru pkey ~cost:(part_cost pt) (Part pt));
+                        pt
+                  in
+                  let pts = Sampling.points (scheme_of ~meth ~band) ~count:samples in
+                  let k = Partition.part_count pt in
+                  let hits = Array.make k 0 and misses = Array.make k 0 in
+                  let job_solves = ref 0 in
+                  let all_warm = ref true in
+                  let sampled = ref false in
+                  let subs =
+                    Array.mapi
+                      (fun i (part : Partition.part) ->
+                        if part.Partition.rhs.Pmtbr_la.Mat.cols = 0 then
+                          Hier_reduce.reduce_part ?order ?tol part pts
+                        else begin
+                          sampled := true;
+                          let hkey = hier_samples_key part ~meth ~band ~samples in
+                          let cache =
+                            match with_lock t.lock (fun () -> find_samples t hkey) with
+                            | Some s ->
+                                hits.(i) <- 1;
+                                s.cache
+                            | None ->
+                                all_warm := false;
+                                misses.(i) <- 1;
+                                let cache =
+                                  Hier_reduce.sample_part ~workers:t.job_workers part pts
+                                in
+                                job_solves :=
+                                  !job_solves + (Sample_cache.stats cache).Sample_cache.solves;
+                                with_lock t.lock (fun () ->
+                                    Lru.add t.lru hkey
+                                      ~cost:(samples_cost part.Partition.sys cache)
+                                      (Samples { cache }));
+                                cache
+                          in
+                          Hier_reduce.basis_of_part ?order ?tol ~workers:t.job_workers part
+                            cache ~samples ()
+                        end)
+                      pt.Partition.parts
+                  in
+                  let rom =
+                    Hier_reduce.recombine pt
+                      (Array.map (fun (s : Hier_reduce.sub) -> s.Hier_reduce.basis) subs)
+                  in
+                  let sigma =
+                    Array.concat
+                      (Array.to_list
+                         (Array.map
+                            (fun (s : Hier_reduce.sub) -> s.Hier_reduce.singular_values)
+                            subs))
+                  in
+                  let tier =
+                    if !sampled && !all_warm then Samples_hit
+                    else if net_was_warm then Network_hit
+                    else Miss
+                  in
+                  (rom, sigma, hits, misses, !job_solves, tier, k)
+                with
+                | rom, sigma, hits, misses, job_solves, tier, k ->
+                    let r =
+                      {
+                        r_rom = rom;
+                        r_order = Dss.order rom;
+                        r_sigma = sigma;
+                        r_digest = rom_digest rom;
+                      }
+                    in
+                    with_lock t.lock (fun () ->
+                        (match tier with
+                        | Samples_hit -> t.ctr.c_samples_hits <- t.ctr.c_samples_hits + 1
+                        | Network_hit -> t.ctr.c_network_hits <- t.ctr.c_network_hits + 1
+                        | _ -> t.ctr.c_misses <- t.ctr.c_misses + 1);
+                        t.ctr.c_solves <- t.ctr.c_solves + job_solves;
+                        let hn =
+                          match Hashtbl.find_opt t.hier hash with
+                          | Some hn when hn.partitions = k -> hn
+                          | _ ->
+                              let hn =
+                                {
+                                  partitions = k;
+                                  sub_hits = Array.make k 0;
+                                  sub_misses = Array.make k 0;
+                                }
+                              in
+                              Hashtbl.replace t.hier hash hn;
+                              hn
+                        in
+                        Array.iteri (fun i h -> hn.sub_hits.(i) <- hn.sub_hits.(i) + h) hits;
+                        Array.iteri
+                          (fun i m -> hn.sub_misses.(i) <- hn.sub_misses.(i) + m)
+                          misses;
+                        Lru.add t.lru rkey ~cost:(rom_cost r) (Rom r));
+                    let* netlist = export_of_rom ~export r.r_rom in
+                    Ok
+                      (outcome_of_rom ~tier ~hash ~solves:job_solves
+                         ~wall:(Unix.gettimeofday () -. t0)
+                         ~netlist network.sys r)
+                | exception e ->
+                    Error
+                      (Printf.sprintf "hierarchical reduction failed: %s"
+                         (Printexc.to_string e)))
             | None when meth = Protocol.Tbr_passive -> (
                 (* one-Gramian symmetric path: no samples tier — the ADI
                    columns are method-specific and cheap next to the ROM;
@@ -321,7 +506,7 @@ let reduce t ~netlist ~meth ~band ?tol ?order ?(export = false) ~samples () =
                 let inductors = Pmtbr_circuit.Netlist.inductor_count nl in
                 match
                   Tbr_passive.reduce_stats ?order ?tol ?stop ~inductors
-                    ~ms:network.ms ~workers:t.job_workers network.sys
+                    ~ms:(Lazy.force network.ms) ~workers:t.job_workers network.sys
                 with
                 | red, stats ->
                     let tier = if net_was_warm then Network_hit else Miss in
@@ -358,11 +543,15 @@ let reduce t ~netlist ~meth ~band ?tol ?order ?(export = false) ~samples () =
                       Ok (s.cache, Samples_hit, 0)
                   | None -> (
                       let pts = Sampling.points (scheme_of ~meth ~band) ~count:samples in
-                      let cache =
-                        Sample_cache.create ~workers:t.job_workers ~ms:network.ms network.sys
-                      in
-                      match Sample_cache.extend cache pts with
-                      | () ->
+                      match
+                        let cache =
+                          Sample_cache.create ~workers:t.job_workers
+                            ~ms:(Lazy.force network.ms) network.sys
+                        in
+                        Sample_cache.extend cache pts;
+                        cache
+                      with
+                      | cache ->
                           let st = Sample_cache.stats cache in
                           let tier = if net_was_warm then Network_hit else Miss in
                           with_lock t.lock (fun () ->

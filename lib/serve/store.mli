@@ -11,8 +11,18 @@
       query with a {e tighter tolerance or different order} re-finishes
       through [Pmtbr.of_cache] with zero new solves.
     - {b ROM tier} (keyed by hash + method + band + tol + order +
-      samples): the finished reduced model, returned outright on exact
-      repeats.
+      samples + partition): the finished reduced model, returned outright
+      on exact repeats.
+
+    Hierarchical jobs ([meth = Hier]) add two more tiers: a {b partition
+    tier} (hash + part count: the {!Pmtbr_core.Partition.t}) and
+    {b per-subdomain sample tiers} keyed by the subdomain's canonical
+    sub-netlist hash + its sampling right-hand side + the point scheme —
+    so a warm job reuses every subdomain's solved columns, and two
+    networks sharing an identical subdomain share its columns too.  The
+    network tier's global symbolic analysis is {e lazy}: hierarchical
+    jobs never pay it (their factorizations live per subdomain), flat
+    methods force it once per network.
 
     {b Determinism.}  Every tier is a pure function of the job key: the
     multi-shift handle always uses the canonical template shift, sample
@@ -72,6 +82,21 @@ type counters = {
 val counters : t -> counters
 (** Snapshot of the lifetime counters. *)
 
+(** Per-network hierarchical counters: the part count of the network's
+    last partition and, per subdomain slot, how many jobs found that
+    subdomain's sample columns warm ([sub_hits]) vs. had to solve them
+    ([sub_misses]).  Reset when a job re-partitions the network with a
+    different part count. *)
+type hier_net = {
+  partitions : int;
+  sub_hits : int array;
+  sub_misses : int array;
+}
+
+val hier_stats : t -> (string * hier_net) list
+(** Snapshot of the hierarchical counters, sorted by network hash
+    (deterministic order for the stats response). *)
+
 val canonical_hash : string -> (string, string) result
 (** Content hash of a netlist text: parse, re-render canonically, digest —
     so formatting, comments and node names do not perturb the address.
@@ -88,6 +113,7 @@ val reduce :
   band:float * float ->
   ?tol:float ->
   ?order:int ->
+  ?partition:int ->
   ?export:bool ->
   samples:int ->
   unit ->
@@ -100,6 +126,9 @@ val reduce :
     truncation through the network tier's shared multi-shift handle (no
     samples tier — the ADI columns are method-specific); a band with
     [lo > 0] switches the Gramian solver to the band-limited residual
-    criterion.  [export] synthesizes the ROM back into a canonical
-    netlist ({!outcome.netlist}) — an error if the ROM is not
-    RC-realizable. *)
+    criterion.  [meth = Hier] partitions into [partition] subdomains
+    (default 4; ignored by other methods) and runs the domain-decomposed
+    pipeline through the per-subdomain sample tiers; its tier is
+    [Samples_hit] when every sampled subdomain was warm.  [export]
+    synthesizes the ROM back into a canonical netlist
+    ({!outcome.netlist}) — an error if the ROM is not RC-realizable. *)

@@ -111,6 +111,7 @@ let test_request_roundtrip () =
       tol = Some 1e-9;
       order = Some 12;
       samples = 17;
+      partition = None;
       export = false;
       netlist = "R1 1 0 1k\nC1 1 0 1p\n.port 1\n.end\n";
     }
@@ -144,6 +145,46 @@ let test_request_roundtrip () =
       | Ok r -> Alcotest.(check bool) "kind preserved" true (r = req)
       | Error e -> Alcotest.fail e)
     [ Protocol.Ping; Protocol.Stats; Protocol.Shutdown ]
+
+let test_partition_roundtrip_and_validation () =
+  let job =
+    {
+      Protocol.meth = Protocol.Hier;
+      band = (0.0, 2e10);
+      tol = None;
+      order = Some 8;
+      samples = 10;
+      partition = Some 3;
+      export = false;
+      netlist = "R1 1 0 1k\nC1 1 0 1p\n.port 1\n.end\n";
+    }
+  in
+  (match Protocol.parse_request (Protocol.encode_request (Protocol.Reduce job)) with
+  | Ok (Protocol.Reduce j) ->
+      Alcotest.(check bool) "hier meth" true (j.Protocol.meth = Protocol.Hier);
+      Alcotest.(check (option int)) "partition" (Some 3) j.Protocol.partition
+  | Ok _ -> Alcotest.fail "wrong request kind"
+  | Error e -> Alcotest.fail ("hier roundtrip: " ^ e));
+  (* hier without an explicit partition count is valid (store default) *)
+  (match
+     Protocol.parse_request (Protocol.encode_request (Protocol.Reduce { job with partition = None }))
+   with
+  | Ok (Protocol.Reduce j) ->
+      Alcotest.(check (option int)) "default partition" None j.Protocol.partition
+  | Ok _ -> Alcotest.fail "wrong request kind"
+  | Error e -> Alcotest.fail ("hier default roundtrip: " ^ e));
+  let reject payload what =
+    match Protocol.parse_request payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ " must be rejected")
+  in
+  reject "job reduce\nmethod hier\nband 1:2\npartition 0\n\nR1 1 0 1\n.port 1\n" "zero partition";
+  reject "job reduce\nmethod hier\nband 1:2\npartition 5000\n\nR1 1 0 1\n.port 1\n"
+    "partition beyond cap";
+  reject "job reduce\nmethod hier\nband 1:2\npartition two\n\nR1 1 0 1\n.port 1\n"
+    "non-integer partition";
+  reject "job reduce\nmethod pmtbr\nband 1:2\npartition 2\n\nR1 1 0 1\n.port 1\n"
+    "partition on a flat method"
 
 let test_request_validation () =
   let reject payload what =
@@ -243,9 +284,9 @@ let must = function Ok v -> v | Error e -> Alcotest.fail e
 let job_defaults = (Protocol.Pmtbr, (0.0, 2e10), 10)
 
 let run_job ?(meth = Protocol.Pmtbr) ?(band = (0.0, 2e10)) ?tol ?(order = 8) ?(samples = 10)
-    ?(export = false) store netlist =
+    ?partition ?(export = false) store netlist =
   let _ = job_defaults in
-  must (Store.reduce store ~netlist ~meth ~band ?tol ~order ~export ~samples ())
+  must (Store.reduce store ~netlist ~meth ~band ?tol ~order ?partition ~export ~samples ())
 
 let test_hash_stability () =
   let text = mesh_netlist () in
@@ -331,6 +372,52 @@ let test_tbr_passive_tiers_and_export () =
   (* same network, new band: the prepared multi-shift handle is reused *)
   let o3 = run_job ~meth:Protocol.Tbr_passive ~order:6 ~band:(1e8, 1e10) store netlist in
   Alcotest.(check string) "new band reuses network" "network-hit" (Store.tier_name o3.Store.tier)
+
+(* Hierarchical jobs through the store: tier progression over the
+   per-subdomain sample tiers, the per-network partition tracker, and the
+   reset when a job re-partitions the same network. *)
+let test_hier_tiers_and_stats () =
+  let store = Store.create () in
+  let netlist = mesh_netlist ~n:8 () in
+  let o1 = run_job ~meth:Protocol.Hier ~partition:2 store netlist in
+  Alcotest.(check string) "first hier job misses" "miss" (Store.tier_name o1.Store.tier);
+  Alcotest.(check bool) "cold hier job solves" true (o1.Store.job_solves > 0);
+  let o2 = run_job ~meth:Protocol.Hier ~partition:2 store netlist in
+  Alcotest.(check string) "verbatim repeat" "rom-hit" (Store.tier_name o2.Store.tier);
+  Alcotest.(check int) "repeat does no solves" 0 o2.Store.job_solves;
+  Alcotest.(check string) "repeat digest" o1.Store.digest o2.Store.digest;
+  (* same samples, new order: every subdomain sample tier is warm, so the
+     recombination re-finishes without a single solve *)
+  let o3 = run_job ~meth:Protocol.Hier ~partition:2 ~order:4 store netlist in
+  Alcotest.(check string) "re-order reuses subdomain samples" "samples-hit"
+    (Store.tier_name o3.Store.tier);
+  Alcotest.(check int) "re-finish solves nothing" 0 o3.Store.job_solves;
+  let hs = Store.hier_stats store in
+  Alcotest.(check int) "one hier network" 1 (List.length hs);
+  let hash, hn = List.hd hs in
+  Alcotest.(check string) "keyed by network hash" o1.Store.hash hash;
+  Alcotest.(check int) "partitions" 2 hn.Store.partitions;
+  let sum = Array.fold_left ( + ) 0 in
+  Alcotest.(check bool) "cold job recorded sub misses" true (sum hn.Store.sub_misses > 0);
+  Alcotest.(check bool) "warm job recorded sub hits" true (sum hn.Store.sub_hits > 0);
+  (* a different part count on the same network resets the slot tracker *)
+  let o4 = run_job ~meth:Protocol.Hier ~partition:3 store netlist in
+  Alcotest.(check string) "re-partition falls back to the warm network" "network-hit"
+    (Store.tier_name o4.Store.tier);
+  let _, hn3 = List.hd (Store.hier_stats store) in
+  Alcotest.(check int) "tracker reset to the new count" 3 hn3.Store.partitions;
+  Alcotest.(check int) "slot arrays follow" 3 (Array.length hn3.Store.sub_misses)
+
+(* Warm hier paths are bitwise: re-finishing from cached subdomain
+   samples reproduces the cold digest exactly. *)
+let test_hier_warm_equals_cold () =
+  let netlist = mesh_netlist ~n:8 () in
+  let cold = run_job ~meth:Protocol.Hier ~partition:2 (Store.create ()) netlist in
+  let s = Store.create () in
+  ignore (run_job ~meth:Protocol.Hier ~partition:2 ~order:3 s netlist);
+  let warm = run_job ~meth:Protocol.Hier ~partition:2 s netlist in
+  Alcotest.(check string) "samples-warm tier" "samples-hit" (Store.tier_name warm.Store.tier);
+  Alcotest.(check string) "samples-warm digest" cold.Store.digest warm.Store.digest
 
 (* The bitwise contract: a warm-path ROM equals the cold-path ROM no
    matter what ran before it. *)
@@ -455,6 +542,7 @@ let test_concurrent_jobs_deterministic () =
                                tol = None;
                                order = Some 8;
                                samples = 10;
+                               partition = None;
                                export = false;
                                netlist = nl;
                              })
@@ -490,6 +578,7 @@ let test_daemon_export_job () =
                    tol = None;
                    order = Some 6;
                    samples = 10;
+                   partition = None;
                    export = true;
                    netlist = mesh_netlist ~n:5 ();
                  })
@@ -500,6 +589,38 @@ let test_daemon_export_job () =
           Alcotest.(check int) "body parses to the reduced order"
             (int_of_string (field r "order"))
             (Pmtbr_lti.Dss.order back)))
+
+(* A hier job over the wire surfaces its per-network partition counters
+   in the stats response. *)
+let test_daemon_hier_stats_field () =
+  let socket = Printf.sprintf ".pmtbr_test_hier.%d.sock" (Unix.getpid ()) in
+  let daemon = start_daemon ~socket ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon ~socket daemon)
+    (fun () ->
+      Client.with_connection socket (fun c ->
+          let r =
+            roundtrip c
+              (Protocol.Reduce
+                 {
+                   Protocol.meth = Protocol.Hier;
+                   band = (0.0, 2e10);
+                   tol = None;
+                   order = Some 6;
+                   samples = 8;
+                   partition = Some 2;
+                   export = false;
+                   netlist = mesh_netlist ~n:6 ();
+                 })
+          in
+          let hash = field r "hash" in
+          let s = roundtrip c Protocol.Stats in
+          match Protocol.field s ("hier_" ^ hash) with
+          | Some v ->
+              let prefix = "partitions=2" in
+              Alcotest.(check string) "partition count leads the stats field" prefix
+                (String.sub v 0 (min (String.length v) (String.length prefix)))
+          | None -> Alcotest.fail "stats response missing the hier_ field"))
 
 let test_daemon_protocol_errors () =
   let socket = Printf.sprintf ".pmtbr_test_err.%d.sock" (Unix.getpid ()) in
@@ -540,7 +661,7 @@ let test_daemon_protocol_errors () =
           let fdc = c in
           match Client.request fdc (Protocol.Reduce {
             Protocol.meth = Protocol.Pmtbr; band = (0.0, 1e9); tol = None; order = None;
-            samples = 5; export = false; netlist = "R1 1 0 banana\n.port 1\n" })
+            samples = 5; partition = None; export = false; netlist = "R1 1 0 banana\n.port 1\n" })
           with
           | Ok r -> (
               (match r.Protocol.status with
@@ -565,6 +686,8 @@ let () =
           Alcotest.test_case "malformed frames" `Quick test_frame_malformed;
           Alcotest.test_case "oversized frame" `Quick test_frame_oversized;
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "partition roundtrip and validation" `Quick
+            test_partition_roundtrip_and_validation;
           Alcotest.test_case "request validation" `Quick test_request_validation;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
         ] );
@@ -583,6 +706,8 @@ let () =
             test_reformatted_collides_to_one_rom;
           Alcotest.test_case "tbr-passive tiers and export" `Quick
             test_tbr_passive_tiers_and_export;
+          Alcotest.test_case "hier tiers and stats" `Quick test_hier_tiers_and_stats;
+          Alcotest.test_case "hier warm equals cold (bitwise)" `Quick test_hier_warm_equals_cold;
           Alcotest.test_case "warm equals cold (bitwise)" `Quick test_warm_equals_cold;
           Alcotest.test_case "eviction forces recompute" `Quick test_eviction_forces_recompute;
           Alcotest.test_case "rejects garbage" `Quick test_store_rejects_garbage;
@@ -592,6 +717,7 @@ let () =
           Alcotest.test_case "concurrent jobs deterministic" `Quick
             test_concurrent_jobs_deterministic;
           Alcotest.test_case "export job" `Quick test_daemon_export_job;
+          Alcotest.test_case "hier stats field" `Quick test_daemon_hier_stats_field;
           Alcotest.test_case "protocol errors" `Quick test_daemon_protocol_errors;
         ] );
     ]
