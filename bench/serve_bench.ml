@@ -116,7 +116,8 @@ let run_scenario ~mesh_n ~samples ~warm_jobs =
   let nl = Pmtbr_circuit.Rc_mesh.generate ~rows:mesh_n ~cols:mesh_n ~ports:2 () in
   let netlist = Pmtbr_circuit.Spice.to_string nl in
   let job = { Protocol.meth = Protocol.Pmtbr; band = (0.0, 2e10); tol = None;
-              order = Some 12; samples; partition = None; export = false; netlist } in
+              order = Some 12; samples; partition = None; max_part_states = None;
+              interface_tol = None; export = false; netlist } in
   let socket = Printf.sprintf ".serve_bench.%d.sock" (Unix.getpid ()) in
   let daemon = start_daemon ~socket ~workers:2 in
   let finally () = stop_daemon daemon in

@@ -45,6 +45,13 @@ echo "== real-multicore lane (shift/sweep/hier smoke at 4 workers)"
 OCAMLRUNPARAM=b dune exec bench/shift_bench.exe -- --smoke --workers 4 --assert-multicore
 OCAMLRUNPARAM=b dune exec bench/sweep_bench.exe -- --smoke --workers 4 --assert-multicore
 OCAMLRUNPARAM=b dune exec bench/hier_bench.exe -- --smoke --workers 4 --assert-multicore
+# the nested-dissection CLI path end to end: budget-driven recursive
+# partitioning plus interface compression, fanned over 4 workers (pool
+# collapses to 1 on a single-core host; the result is bitwise-identical
+# either way, which is what the suites assert)
+OCAMLRUNPARAM=b dune exec bin/pmtbr_cli.exe -- reduce --circuit rc-mesh --size 6 \
+    --method hier --partition auto --max-part-states 20 --interface-tol 1e-8 \
+    --samples 8 --tol 1e-10 --workers 4 --stats
 
 echo "== CLI export roundtrip (tbr-passive reduce --export, file re-parsed and swept)"
 EXPORT_NL=".ci_export_$$.sp"
@@ -81,6 +88,12 @@ dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 6
 # run lands on warm per-subdomain sample caches
 dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 8 \
     --method hier --partition 2 --band 0:2e10 --order 8 --samples 8 --repeat 2
+# the new dissection job fields over the wire: partition auto +
+# max-part-states + interface-tol, repeated so the re-run re-finds every
+# leaf's sample tier warm
+dune exec bin/pmtbr_cli.exe -- batch --socket "$SOCK" --circuit rc-mesh --size 8 \
+    --method hier --partition auto --max-part-states 20 --interface-tol 1e-8 \
+    --band 0:2e10 --order 8 --samples 8 --repeat 2
 # a tbr-passive export job: the response body carries the synthesized
 # netlist, which must re-parse as a circuit source
 DAEMON_NL=".ci_daemon_export_$$.sp"

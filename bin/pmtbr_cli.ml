@@ -256,15 +256,66 @@ let method_arg =
 let order_arg =
   Arg.(value & opt (some int) None & info [ "order" ] ~docv:"Q" ~doc:"Target reduced order.")
 
+(* "auto" or an explicit subdomain count.  K < 2 is rejected right here,
+   at parse time, with a Cmdliner usage error; K > the state count is
+   checked once the circuit is built (same clean error channel through
+   [Term.term_result']). *)
+type partition_choice = P_auto | P_k of int
+
+let partition_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "auto" -> Ok P_auto
+    | t -> (
+        match int_of_string_opt t with
+        | Some k when k >= 2 -> Ok (P_k k)
+        | Some k ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "partition count must be >= 2 (got %d); a 1-part hierarchy is the flat \
+                     path — use 'auto' to size parts from the state budget"
+                    k))
+        | None ->
+            Error (`Msg (Printf.sprintf "expected a subdomain count >= 2 or 'auto' (got %S)" s)))
+  in
+  let print ppf = function
+    | P_auto -> Format.pp_print_string ppf "auto"
+    | P_k k -> Format.pp_print_int ppf k
+  in
+  Arg.conv (parse, print)
+
 let partition_arg =
   Arg.(
     value
-    & opt (some int) None
-    & info [ "partition" ] ~docv:"K"
+    & opt (some partition_conv) None
+    & info [ "partition" ] ~docv:"K|auto"
         ~doc:
-          "Subdomain count for the hierarchical method (default 4 when --method hier).  \
-           Giving --partition with the default method switches it to hier; combining it \
-           with any other method is an error.")
+          "Subdomain goal for the hierarchical method (default 4 when --method hier): an \
+           explicit count >= 2, or $(b,auto) to dissect recursively until every part fits \
+           --max-part-states.  Giving --partition with the default method switches it to \
+           hier; combining it with any other method is an error.")
+
+let max_part_states_arg =
+  Arg.(
+    value
+    & opt int 20_000
+    & info [ "max-part-states" ] ~docv:"N"
+        ~doc:
+          "Per-part state budget for --partition auto: nested dissection recurses while a \
+           part exceeds N states, so N is also the largest sparse factorization any \
+           subdomain pays.")
+
+let interface_tol_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "interface-tol" ] ~docv:"TOL"
+        ~doc:
+          "Compress the interface states of the recombined hierarchical model through a \
+           second-pass PMTBR with this singular-value tail tolerance (couplings stay \
+           exact; full rank falls back to the exact interface).  Without it every \
+           separator state is kept verbatim.")
 
 let tol_arg =
   Arg.(
@@ -341,8 +392,8 @@ let lyap_stop band =
       Some (Lr_lyap.Band_residual (Array.map (fun p -> (p.Sampling.s, p.Sampling.weight)) bpts))
   | _ -> None
 
-let run_reduce circuit spice size ports seed meth partition order tol samples band workers stats
-    adaptive draws export =
+let run_reduce_inner circuit spice size ports seed meth partition max_part_states interface_tol
+    order tol samples band workers stats adaptive draws export =
   let meth =
     match (meth, partition) with
     | M_pmtbr, Some _ -> M_hier
@@ -350,6 +401,8 @@ let run_reduce circuit spice size ports seed meth partition order tol samples ba
     | m, Some _ when m <> M_hier -> failwith "--partition only applies to --method hier"
     | m, _ -> m
   in
+  if interface_tol <> None && meth <> M_hier then
+    failwith "--interface-tol only applies to --method hier";
   let nl, source = resolve ~circuit ~spice ~size ~ports ~seed in
   let sys = Dss.of_netlist nl in
   let w_hi = band_of ~circuit:source ~band ~fallback:1e10 in
@@ -375,16 +428,44 @@ let run_reduce circuit spice size ports seed meth partition order tol samples ba
     | M_pmtbr -> ((Pmtbr.reduce ?order ?tol ?workers sys pts).Pmtbr.rom, None, None)
     | M_hier ->
         if adaptive then no_adaptive "hier";
-        let parts = Option.value partition ~default:4 in
-        let rom, hst = Hier_reduce.reduce_stats ?order ?tol ?workers ~parts nl pts in
+        let t0 = Unix.gettimeofday () in
+        let pt =
+          match Option.value partition ~default:(P_k 4) with
+          | P_k k ->
+              if k > Dss.order sys then
+                failwith
+                  (Printf.sprintf
+                     "--partition %d exceeds the circuit's %d states (at most one subdomain \
+                      per state)"
+                     k (Dss.order sys));
+              Partition.split ~parts:k nl
+          | P_auto -> Partition.split_auto ~max_states:max_part_states nl
+        in
+        let partition_wall = Unix.gettimeofday () -. t0 in
+        let rom, hst =
+          Hier_reduce.reduce_partitioned ?order ?tol ?interface_tol ?workers pt pts
+        in
         if stats then begin
-          Printf.printf "partitions:        %d (interface states kept exact: %d)\n"
-            hst.Hier_reduce.parts hst.Hier_reduce.interface;
+          Printf.printf "partitions:        %d (tree depth %d; interface states %d -> %d)\n"
+            hst.Hier_reduce.parts hst.Hier_reduce.depth hst.Hier_reduce.interface
+            hst.Hier_reduce.interface_kept;
+          Array.iteri
+            (fun l (cuts, sep) ->
+              Printf.printf "  level %-2d         %d cut%s, %d separator state%s\n" l cuts
+                (if cuts = 1 then "" else "s")
+                sep
+                (if sep = 1 then "" else "s"))
+            (Partition.level_cuts pt);
           Printf.printf "subdomain orders:  %s\n"
             (String.concat " "
                (Array.to_list (Array.map string_of_int hst.Hier_reduce.sub_orders)));
           Printf.printf "shifted solves:    %d (per subdomain; no global factorization)\n"
             hst.Hier_reduce.solves;
+          Printf.printf
+            "stage walls:       partition %.4f s, sample+project %.4f s, recombine %.4f s, \
+             compress %.4f s\n"
+            partition_wall hst.Hier_reduce.sample_wall_s hst.Hier_reduce.recombine_wall_s
+            hst.Hier_reduce.compress_wall_s;
           Printf.printf "subdomain wall:    %s s\n"
             (String.concat " "
                (Array.to_list (Array.map (Printf.sprintf "%.4f") hst.Hier_reduce.sub_wall_s)))
@@ -535,13 +616,26 @@ let export_file_arg =
            Needs a realizable (reciprocal, symmetric) reduced model — the tbr-passive \
            method guarantees one.")
 
+(* usage errors (bad flag combinations, partition > states, server-side
+   failures) leave through Cmdliner's error channel instead of an
+   uncaught exception *)
+let run_reduce circuit spice size ports seed meth partition max_part_states interface_tol order
+    tol samples band workers stats adaptive draws export =
+  try
+    Ok
+      (run_reduce_inner circuit spice size ports seed meth partition max_part_states
+         interface_tol order tol samples band workers stats adaptive draws export)
+  with Failure msg -> Error msg
+
 let reduce_cmd =
   let doc = "Reduce a circuit model and report the in-band error." in
   Cmd.v (Cmd.info "reduce" ~doc)
     Term.(
-      const run_reduce $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg $ method_arg
-      $ partition_arg $ order_arg $ tol_arg $ samples_arg $ band_arg $ workers_arg $ stats_arg
-      $ adaptive_arg $ draws_arg $ export_file_arg)
+      term_result'
+        (const run_reduce $ circuit_arg $ spice_arg $ size_arg $ ports_arg $ seed_arg
+        $ method_arg $ partition_arg $ max_part_states_arg $ interface_tol_arg $ order_arg
+        $ tol_arg $ samples_arg $ band_arg $ workers_arg $ stats_arg $ adaptive_arg $ draws_arg
+        $ export_file_arg))
 
 (* ------------------------------------------------------------------ *)
 (* adaptive                                                            *)
@@ -747,12 +841,19 @@ let roundtrip conn req =
   (match r.Sproto.status with Ok () -> () | Error msg -> failwith ("server error: " ^ msg));
   r
 
-let run_batch socket ping server_stats shutdown circuit spice size ports seed meth partition
-    band tol order samples repeat assert_warm export_out =
+let run_batch_inner socket ping server_stats shutdown circuit spice size ports seed meth
+    partition max_part_states interface_tol band tol order samples repeat assert_warm export_out
+    =
   (* --partition with the default method implies hier, mirroring reduce *)
   let meth =
     match (meth, partition) with Sproto.Pmtbr, Some _ -> Sproto.Hier | m, _ -> m
   in
+  let partition =
+    Option.map (function P_auto -> Sproto.Auto | P_k k -> Sproto.Parts k) partition
+  in
+  (* the budget only rides along when auto dissection asked for it — the
+     protocol rejects max-part-states on a fixed-count job *)
+  let max_part_states = if partition = Some Sproto.Auto then Some max_part_states else None in
   Sclient.with_connection socket (fun conn ->
       if ping then print_fields (roundtrip conn Sproto.Ping)
       else if server_stats then print_fields (roundtrip conn Sproto.Stats)
@@ -772,8 +873,8 @@ let run_batch socket ping server_stats shutdown circuit spice size ports seed me
         in
         let job =
           Sproto.Reduce
-            { Sproto.meth; band; tol; order; samples; partition;
-              export = export_out <> None; netlist }
+            { Sproto.meth; band; tol; order; samples; partition; max_part_states;
+              interface_tol; export = export_out <> None; netlist }
         in
         let repeat = max 1 repeat in
         let walls = Array.make repeat 0.0 in
@@ -845,11 +946,22 @@ let batch_cmd =
             "Ask the daemon to synthesize the reduced model back into a netlist and write \
              the response body to FILE (first repeat only).")
   in
+  let run_batch socket ping server_stats shutdown circuit spice size ports seed meth partition
+      max_part_states interface_tol band tol order samples repeat assert_warm export_out =
+    try
+      Ok
+        (run_batch_inner socket ping server_stats shutdown circuit spice size ports seed meth
+           partition max_part_states interface_tol band tol order samples repeat assert_warm
+           export_out)
+    with Failure msg -> Error msg
+  in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run_batch $ socket_arg $ ping $ stats $ shutdown $ circuit_arg $ spice_arg
-      $ size_arg $ ports_arg $ seed_arg $ serve_method_arg $ partition_arg $ band_arg $ tol_arg
-      $ order_arg $ samples_arg $ repeat $ assert_warm $ export_out)
+      term_result'
+        (const run_batch $ socket_arg $ ping $ stats $ shutdown $ circuit_arg $ spice_arg
+        $ size_arg $ ports_arg $ seed_arg $ serve_method_arg $ partition_arg
+        $ max_part_states_arg $ interface_tol_arg $ band_arg $ tol_arg $ order_arg $ samples_arg
+        $ repeat $ assert_warm $ export_out))
 
 (* ------------------------------------------------------------------ *)
 

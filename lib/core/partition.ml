@@ -1,18 +1,22 @@
-(* Nested-dissection-style partitioner over the MNA state graph.
+(* Nested-dissection partitioner over the MNA state graph.
 
    The netlist is stamped once; the state graph (union pattern of E and A,
-   symmetrized) is cut into [parts] pieces by recursive level-set
-   bisection — BFS level sets from a pseudo-peripheral vertex, split at
-   the level boundary that balances the two halves, recursively.  Every
-   cross-part matrix entry then has exactly one endpoint promoted into the
-   global interface set (the endpoint in the higher-numbered part), so the
-   remaining interiors are mutually decoupled: the only nonzero blocks are
-   per-part interiors, part<->interface couplings, and the interface
-   block.  Each interior is re-expressed as a standalone sub-netlist
-   (interface nodes mapped to ground — exactly reproduces the interior
-   stamp, see [sub_netlist_of_part]) so the subdomain is content-addressed
-   by the same canonical-render hash the store already uses for whole
-   networks.
+   symmetrized) is dissected recursively by vertex separators: BFS level
+   sets from a pseudo-peripheral vertex form wavefronts, and one whole
+   level — chosen to be thin and to balance the two sides — is removed as
+   a separator.  The two remaining sides cannot touch (BFS levels are only
+   adjacent to their neighbours), so recursing on each side yields a
+   partition *tree*: internal nodes carry separators, leaves are mutually
+   decoupled interiors.  The union of all separators is the global
+   interface set; the only nonzero blocks are per-part interiors,
+   part<->interface couplings, and the interface block.  Recursion is
+   driven either by a leaf-count target ([split ~parts]) or by a state
+   budget ([split_auto ~max_states]: recurse while a side exceeds the
+   budget, under a hard depth cap).  Each interior is re-expressed as a
+   standalone sub-netlist (interface nodes mapped to ground — exactly
+   reproduces the interior stamp, see [sub_netlist_of_part]) so the
+   subdomain is content-addressed by the same canonical-render hash the
+   store already uses for whole networks.
 
    Everything here is a pure function of the netlist and the options:
    vertex orderings break ties by global index, the coupling sketch draws
@@ -36,8 +40,13 @@ type part = {
   a_gi : entry array;
 }
 
+type tree =
+  | Leaf of { part : int; size : int }
+  | Node of { sep : int array; left : tree; right : tree }
+
 type t = {
   parts : part array;
+  tree : tree;
   interface : int array;
   e_gg : entry array;
   a_gg : entry array;
@@ -50,6 +59,48 @@ type t = {
 let part_count t = Array.length t.parts
 let interface_count t = Array.length t.interface
 let part_sizes t = Array.map (fun p -> Array.length p.states) t.parts
+
+let rec depth_of = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + max (depth_of left) (depth_of right)
+
+let tree_depth t = depth_of t.tree
+
+(* Per-level cut summary, root first: (separators at this level, total
+   separator states).  Levels with no internal node are absent. *)
+let level_cuts t =
+  let acc = ref [] in
+  let rec walk level = function
+    | Leaf _ -> ()
+    | Node { sep; left; right } ->
+        acc := (level, Array.length sep) :: !acc;
+        walk (level + 1) left;
+        walk (level + 1) right
+  in
+  walk 0 t.tree;
+  let depth = depth_of t.tree in
+  let cuts = Array.make depth (0, 0) in
+  List.iter
+    (fun (l, s) ->
+      let c, st = cuts.(l) in
+      cuts.(l) <- (c + 1, st + s))
+    !acc;
+  cuts
+
+(* Ancestor separators of each leaf (interface-local indices would need
+   [t]; these are global state ids), in leaf/part order — the tree
+   invariant tests and the store's per-node warm logic read this. *)
+let leaf_ancestors t =
+  let out = Array.make (Array.length t.parts) [] in
+  let rec walk anc = function
+    | Leaf { part; _ } -> out.(part) <- anc
+    | Node { sep; left; right } ->
+        let anc = Array.to_list sep @ anc in
+        walk anc left;
+        walk anc right
+  in
+  walk [] t.tree;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Merged sparse entries                                                *)
@@ -152,37 +203,102 @@ let farthest_vertex levels states =
     states;
   !best
 
-(* Split [states] into [k] index sets by recursive level-set bisection;
-   [assign] receives (vertex, part_id).  Part ids are dense in recursion
-   (left-subtree) order. *)
-let rec bisect graph states k assign next_id =
-  if k <= 1 || Array.length states <= 1 then begin
-    let id = !next_id in
-    incr next_id;
-    Array.iter (fun v -> assign v id) states
-  end
+(* Recursion driver: a leaf-count target ([split ~parts]) or a per-part
+   state budget ([split_auto ~max_states]). *)
+type goal = Leaves of int | Budget of int
+
+(* Recursive nested dissection of [states] (ascending global order).
+   Each step removes one whole BFS level as a vertex separator: levels
+   are only adjacent to their neighbours, so deleting level [l] leaves
+   the below side (levels < l) and the above side (levels > l) with no
+   connecting entry — the invariant every later block-structure step
+   relies on.  The level is chosen by a balance heuristic: minimise
+   |separator|/n plus a penalty on the distance of the below-side
+   fraction from the target split (the target is k1/k when dividing a
+   leaf-count goal, 1/2 under a budget goal).  Ties break toward the
+   lowest level, and every ordering breaks ties by global index, so the
+   tree is a pure function of the graph and the goal.
+
+   Stops (making a leaf) when the goal is met, the subset has no
+   interior level to remove (fewer than three BFS levels), or [depth]
+   reaches [depth_cap] — the cap bounds the interface a pathological
+   graph can accumulate.  [mk_leaf] assigns dense part ids in
+   left-subtree order. *)
+let rec dissect graph states ~goal ~depth ~depth_cap ~mark_sep ~mk_leaf =
+  let n = Array.length states in
+  let want_split =
+    n > 1 && depth < depth_cap
+    && (match goal with Leaves k -> k > 1 | Budget b -> n > b)
+  in
+  if not want_split then mk_leaf states
   else begin
-    let k1 = k / 2 in
-    let k2 = k - k1 in
-    let size1 = Array.length states * k1 / k in
-    let size1 = max 1 (min size1 (Array.length states - 1)) in
     let l0 = bfs_levels graph states states.(0) in
     let src = farthest_vertex l0 states in
     let levels = bfs_levels graph states src in
-    let ordered = Array.copy states in
-    (* stable by construction: ties broken by global index because
-       [states] is ascending *)
-    Array.sort
-      (fun a b ->
-        let c = compare (Hashtbl.find levels a) (Hashtbl.find levels b) in
-        if c <> 0 then c else compare a b)
-      ordered;
-    let s1 = Array.sub ordered 0 size1 in
-    let s2 = Array.sub ordered size1 (Array.length ordered - size1) in
-    Array.sort compare s1;
-    Array.sort compare s2;
-    bisect graph s1 k1 assign next_id;
-    bisect graph s2 k2 assign next_id
+    let max_level = Hashtbl.fold (fun _ l acc -> max l acc) levels 0 in
+    if max_level < 2 then mk_leaf states
+    else begin
+      (* bucket by level; iterating [states] backwards keeps each bucket
+         ascending by global index *)
+      let by_level = Array.make (max_level + 1) [] in
+      for i = n - 1 downto 0 do
+        let v = states.(i) in
+        let l = Hashtbl.find levels v in
+        by_level.(l) <- v :: by_level.(l)
+      done;
+      let sizes = Array.map List.length by_level in
+      let below = Array.make (max_level + 1) 0 in
+      for l = 1 to max_level do
+        below.(l) <- below.(l - 1) + sizes.(l - 1)
+      done;
+      let target =
+        match goal with
+        | Leaves k -> float_of_int (k / 2) /. float_of_int k
+        | Budget _ -> 0.5
+      in
+      let best = ref None in
+      for l = 1 to max_level - 1 do
+        let b = below.(l) and a = n - below.(l) - sizes.(l) in
+        if b > 0 && a > 0 then begin
+          let frac = float_of_int b /. float_of_int (b + a) in
+          let score =
+            (float_of_int sizes.(l) /. float_of_int n)
+            +. (0.5 *. Float.abs (frac -. target))
+          in
+          match !best with
+          | Some (s, _) when s <= score -> ()
+          | _ -> best := Some (score, l)
+        end
+      done;
+      match !best with
+      | None -> mk_leaf states
+      | Some (_, l) ->
+          let sep = Array.of_list by_level.(l) in
+          Array.iter mark_sep sep;
+          let side lo hi =
+            let out = ref [] in
+            for ll = hi downto lo do
+              out := by_level.(ll) @ !out
+            done;
+            let arr = Array.of_list !out in
+            Array.sort compare arr;
+            arr
+          in
+          let s1 = side 0 (l - 1) in
+          let s2 = side (l + 1) max_level in
+          let g1, g2 =
+            match goal with
+            | Leaves k -> (Leaves (k / 2), Leaves (k - (k / 2)))
+            | Budget b -> (Budget b, Budget b)
+          in
+          let left =
+            dissect graph s1 ~goal:g1 ~depth:(depth + 1) ~depth_cap ~mark_sep ~mk_leaf
+          in
+          let right =
+            dissect graph s2 ~goal:g2 ~depth:(depth + 1) ~depth_cap ~mark_sep ~mk_leaf
+          in
+          Node { sep; left; right }
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -251,42 +367,35 @@ let sub_netlist_of_part nl ~nodes ~interior ~is_interior =
 (* Split                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let split ~parts:k ?sketch nl =
-  if k < 1 then invalid_arg "Partition.split: parts must be >= 1";
+let split_goal ~goal ~depth_cap ?sketch nl =
   let m = Mna.stamp nl in
   let n = m.Mna.n in
   if n = 0 then invalid_arg "Partition.split: empty netlist";
   let ee = merged_entries n m.Mna.e in
   let ae = merged_entries n m.Mna.a in
   let graph = adjacency n ee ae in
-  let part_of = Array.make n (-1) in
-  let next_id = ref 0 in
-  bisect graph (Array.init n (fun i -> i)) (min k n) (fun v id -> part_of.(v) <- id) next_id;
-  let nparts = !next_id in
-  (* one-sided interface promotion: the endpoint in the higher-numbered
-     part joins the interface, so no entry links two distinct interiors *)
   let iface = Array.make n false in
-  let promote (i, j, _) =
-    if part_of.(i) <> part_of.(j) then
-      if part_of.(i) < part_of.(j) then iface.(j) <- true else iface.(i) <- true
+  let interiors_rev = ref [] in
+  let next_id = ref 0 in
+  let mk_leaf states =
+    let id = !next_id in
+    incr next_id;
+    interiors_rev := states :: !interiors_rev;
+    Leaf { part = id; size = Array.length states }
   in
-  Array.iter promote ee;
-  Array.iter promote ae;
+  let tree =
+    dissect graph
+      (Array.init n (fun i -> i))
+      ~goal ~depth:0 ~depth_cap
+      ~mark_sep:(fun v -> iface.(v) <- true)
+      ~mk_leaf
+  in
+  let interiors = Array.of_list (List.rev !interiors_rev) in
   let interface =
     Array.of_list (List.filter (fun v -> iface.(v)) (List.init n (fun i -> i)))
   in
   let iface_local = Array.make n (-1) in
   Array.iteri (fun idx g -> iface_local.(g) <- idx) interface;
-  let interior_of_part = Array.make nparts [] in
-  for v = n - 1 downto 0 do
-    if not iface.(v) then interior_of_part.(part_of.(v)) <- v :: interior_of_part.(part_of.(v))
-  done;
-  let interiors =
-    interior_of_part |> Array.to_list
-    |> List.filter (fun l -> l <> [])
-    |> List.map Array.of_list
-    |> Array.of_list
-  in
   let nk = Array.length interiors in
   let local_of = Array.make n (-1) in
   let owner = Array.make n (-1) in
@@ -384,6 +493,7 @@ let split ~parts:k ?sketch nl =
   in
   {
     parts;
+    tree;
     interface;
     e_gg = finalize !e_gg;
     a_gg = finalize !a_gg;
@@ -392,3 +502,14 @@ let split ~parts:k ?sketch nl =
     n;
     p = m.Mna.b.Mat.cols;
   }
+
+let default_depth_cap = 48
+
+let split ~parts:k ?sketch nl =
+  if k < 1 then invalid_arg "Partition.split: parts must be >= 1";
+  split_goal ~goal:(Leaves k) ~depth_cap:default_depth_cap ?sketch nl
+
+let split_auto ~max_states ?(depth_cap = default_depth_cap) ?sketch nl =
+  if max_states < 1 then invalid_arg "Partition.split_auto: max_states must be >= 1";
+  if depth_cap < 0 then invalid_arg "Partition.split_auto: depth_cap must be >= 0";
+  split_goal ~goal:(Budget max_states) ~depth_cap ?sketch nl

@@ -130,13 +130,17 @@ let meth_names =
 
 let meth_name m = fst (List.find (fun (_, m') -> m' = m) meth_names)
 
+type partition_spec = Parts of int | Auto
+
 type job = {
   meth : meth;
   band : float * float;
   tol : float option;
   order : int option;
   samples : int;
-  partition : int option;
+  partition : partition_spec option;
+  max_part_states : int option;
+  interface_tol : float option;
   export : bool;
   netlist : string;
 }
@@ -157,7 +161,16 @@ let encode_request = function
         @ (match j.tol with Some t -> [ ("tol", Printf.sprintf "%.17g" t) ] | None -> [])
         @ (match j.order with Some q -> [ ("order", string_of_int q) ] | None -> [])
         @ [ ("samples", string_of_int j.samples) ]
-        @ (match j.partition with Some k -> [ ("partition", string_of_int k) ] | None -> [])
+        @ (match j.partition with
+          | Some (Parts k) -> [ ("partition", string_of_int k) ]
+          | Some Auto -> [ ("partition", "auto") ]
+          | None -> [])
+        @ (match j.max_part_states with
+          | Some b -> [ ("max-part-states", string_of_int b) ]
+          | None -> [])
+        @ (match j.interface_tol with
+          | Some t -> [ ("interface-tol", Printf.sprintf "%.17g" t) ]
+          | None -> [])
         @ (if j.export then [ ("export", "1") ] else [])
       in
       render lines j.netlist
@@ -211,11 +224,32 @@ let parse_reduce kvs body =
   let* partition =
     match lookup "partition" with
     | None -> Ok None
+    | Some "auto" -> Ok (Some Auto)
     | Some s -> (
         match int_of_string_opt s with
-        | Some k when k >= 1 && k <= 4096 -> Ok (Some k)
-        | Some k -> Error (Printf.sprintf "partition must be in [1, 4096] (got %d)" k)
-        | None -> Error (Printf.sprintf "unparsable partition %S" s))
+        | Some k when k >= 1 && k <= 4096 -> Ok (Some (Parts k))
+        | Some k -> Error (Printf.sprintf "partition must be in [1, 4096] or auto (got %d)" k)
+        | None -> Error (Printf.sprintf "unparsable partition %S (expected a count or auto)" s))
+  in
+  let* max_part_states =
+    match lookup "max-part-states" with
+    | None -> Ok None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some b when b >= 1 && b <= 100_000_000 ->
+            if partition = Some Auto then Ok (Some b)
+            else Error "max-part-states requires partition auto"
+        | Some b -> Error (Printf.sprintf "max-part-states must be in [1, 1e8] (got %d)" b)
+        | None -> Error (Printf.sprintf "unparsable max-part-states %S" s))
+  in
+  let* interface_tol =
+    match lookup "interface-tol" with
+    | None -> Ok None
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when Float.is_finite t && t > 0.0 -> Ok (Some t)
+        | Some t -> Error (Printf.sprintf "interface-tol must be finite and > 0 (got %g)" t)
+        | None -> Error (Printf.sprintf "unparsable interface-tol %S" s))
   in
   let* export =
     match lookup "export" with
@@ -229,8 +263,27 @@ let parse_reduce kvs body =
     | Hier, _ | _, None -> Ok ()
     | _, Some _ -> Error "partition only applies to method hier"
   in
+  let* () =
+    match (meth, interface_tol) with
+    | Hier, _ | _, None -> Ok ()
+    | _, Some _ -> Error "interface-tol only applies to method hier"
+  in
   if String.trim body = "" then Error "reduce job is missing the netlist body"
-  else Ok (Reduce { meth; band; tol; order; samples; partition; export; netlist = body })
+  else
+    Ok
+      (Reduce
+         {
+           meth;
+           band;
+           tol;
+           order;
+           samples;
+           partition;
+           max_part_states;
+           interface_tol;
+           export;
+           netlist = body;
+         })
 
 let parse_request payload =
   let headers, body = split_payload payload in

@@ -51,15 +51,28 @@ type meth = Pmtbr | Fs_pmtbr | Tbr_passive | Hier
 val meth_names : (string * meth) list
 val meth_name : meth -> string
 
+type partition_spec =
+  | Parts of int  (** fixed leaf-count dissection goal *)
+  | Auto  (** recurse to the per-part state budget ([max_part_states]) *)
+
 type job = {
   meth : meth;
   band : float * float;  (** validated: finite [0 <= lo < hi] *)
   tol : float option;  (** singular-value tail tolerance, finite [> 0] *)
   order : int option;  (** explicit reduced order, [>= 1] *)
   samples : int;  (** frequency points, [>= 1] (default {!default_samples}) *)
-  partition : int option;
-      (** subdomain count for [Hier], in [1, 4096]; rejected on other
-          methods *)
+  partition : partition_spec option;
+      (** dissection goal for [Hier]: a subdomain count in [1, 4096]
+          (wire value: the integer) or [Auto] (wire value: ["auto"]);
+          rejected on other methods *)
+  max_part_states : int option;
+      (** per-part state budget driving [Auto] recursion, in [1, 1e8]
+          (wire key: [max-part-states]); rejected without
+          [partition auto] *)
+  interface_tol : float option;
+      (** second-pass interface-compression tolerance, finite [> 0]
+          (wire key: [interface-tol]); [Hier] only — absent means the
+          interface is kept exact *)
   export : bool;  (** synthesize the ROM back to a netlist in the response body *)
   netlist : string;  (** inline SPICE-dialect netlist text *)
 }

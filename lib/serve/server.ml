@@ -80,7 +80,8 @@ let respond store ~shutdown request =
       match
         Store.reduce store ~netlist:j.Protocol.netlist ~meth:j.Protocol.meth
           ~band:j.Protocol.band ?tol:j.Protocol.tol ?order:j.Protocol.order
-          ?partition:j.Protocol.partition ~export:j.Protocol.export
+          ?partition:j.Protocol.partition ?max_part_states:j.Protocol.max_part_states
+          ?interface_tol:j.Protocol.interface_tol ~export:j.Protocol.export
           ~samples:j.Protocol.samples ()
       with
       | Ok outcome ->

@@ -210,14 +210,22 @@ let network_key hash = "net|" ^ hash
 let samples_key hash ~meth ~band ~samples =
   Printf.sprintf "smp|%s|%s" hash (scheme_descriptor ~meth ~band ~samples)
 
-let rom_key hash ~meth ~band ~tol ~order ~samples ~partition =
+(* The dissection goal, as a key fragment: fixed leaf count or the
+   budget-driven recursive mode.  Everything the partition tree is a
+   function of (beyond the network hash) must appear here. *)
+let partition_descriptor ~spec ~max_part_states =
+  match (spec : Protocol.partition_spec) with
+  | Protocol.Parts k -> Printf.sprintf "k=%d" k
+  | Protocol.Auto -> Printf.sprintf "auto|budget=%d" max_part_states
+
+let rom_key hash ~meth ~band ~tol ~order ~samples ~hier =
   Printf.sprintf "rom|%s|%s|%s|tol=%s|order=%s%s" hash (Protocol.meth_name meth)
     (scheme_descriptor ~meth ~band ~samples)
     (match tol with Some t -> Printf.sprintf "%.17g" t | None -> "default")
     (match order with Some q -> string_of_int q | None -> "auto")
-    (match partition with Some k -> Printf.sprintf "|parts=%d" k | None -> "")
+    (match hier with Some d -> "|" ^ d | None -> "")
 
-let part_key hash ~parts = Printf.sprintf "part|%s|%d" hash parts
+let part_key hash ~mode = Printf.sprintf "part|%s|%s" hash mode
 
 (* Subdomain sample columns are addressed by what they are a pure
    function of: the interior's canonical sub-netlist render, the sampling
@@ -299,8 +307,10 @@ let export_of_rom ~export rom =
         Error ("export failed: ROM is not realizable: " ^ msg)
 
 let default_partition = 4
+let default_max_part_states = 20_000
 
-let reduce t ~netlist ~meth ~band ?tol ?order ?partition ?(export = false) ~samples () =
+let reduce t ~netlist ~meth ~band ?tol ?order ?partition ?max_part_states ?interface_tol
+    ?(export = false) ~samples () =
   let t0 = Unix.gettimeofday () in
   let ( let* ) = Result.bind in
   let* band = Protocol.validate_band band in
@@ -308,13 +318,25 @@ let reduce t ~netlist ~meth ~band ?tol ?order ?partition ?(export = false) ~samp
   else
     let partition =
       match (meth, partition) with
-      | Protocol.Hier, None -> Some default_partition
+      | Protocol.Hier, None -> Some (Protocol.Parts default_partition)
       | Protocol.Hier, some -> some
       | _, _ -> None
     in
+    let budget = Option.value max_part_states ~default:default_max_part_states in
+    (* the ROM key carries the full hierarchical mode: dissection goal
+       (and budget when auto) plus the interface-compression tolerance *)
+    let hier_desc =
+      Option.map
+        (fun spec ->
+          partition_descriptor ~spec ~max_part_states:budget
+          ^ match interface_tol with
+            | Some it -> Printf.sprintf "|itol=%.17g" it
+            | None -> "")
+        partition
+    in
     let* nl, canonical = canonicalize netlist in
     let hash = hash_of_canonical canonical in
-    let rkey = rom_key hash ~meth ~band ~tol ~order ~samples ~partition in
+    let rkey = rom_key hash ~meth ~band ~tol ~order ~samples ~hier:hier_desc in
     let nkey = network_key hash in
     let skey = samples_key hash ~meth ~band ~samples in
     (* fast path: exact repeat *)
@@ -376,17 +398,26 @@ let reduce t ~netlist ~meth ~band ?tol ?order ?partition ?(export = false) ~samp
                      ~wall:(Unix.gettimeofday () -. t0)
                      ~netlist network.sys r)
             | None when meth = Protocol.Hier -> (
-                (* hierarchical path: partition tier, then per-subdomain
-                   sample tiers keyed by the sub-netlist hash — never the
-                   global samples tier, never the global multi-shift *)
-                let parts = Option.value partition ~default:default_partition in
+                (* hierarchical path: partition tier (keyed by the
+                   dissection mode), then per-subdomain sample tiers keyed
+                   by the sub-netlist hash — never the global samples
+                   tier, never the global multi-shift.  The partition
+                   tree is shared across interface tolerances: compression
+                   happens after recombination, on the assembled pencil *)
+                let spec = Option.value partition ~default:(Protocol.Parts default_partition) in
                 match
-                  let pkey = part_key hash ~parts in
+                  let pkey =
+                    part_key hash ~mode:(partition_descriptor ~spec ~max_part_states:budget)
+                  in
                   let pt =
                     match with_lock t.lock (fun () -> find_part t pkey) with
                     | Some pt -> pt
                     | None ->
-                        let pt = Partition.split ~parts nl in
+                        let pt =
+                          match spec with
+                          | Protocol.Parts k -> Partition.split ~parts:k nl
+                          | Protocol.Auto -> Partition.split_auto ~max_states:budget nl
+                        in
                         with_lock t.lock (fun () ->
                             Lru.add t.lru pkey ~cost:(part_cost pt) (Part pt));
                         pt
@@ -430,8 +461,16 @@ let reduce t ~netlist ~meth ~band ?tol ?order ?partition ?(export = false) ~samp
                       pt.Partition.parts
                   in
                   let rom =
-                    Hier_reduce.recombine pt
+                    Hier_reduce.recombine ~workers:t.job_workers pt
                       (Array.map (fun (s : Hier_reduce.sub) -> s.Hier_reduce.basis) subs)
+                  in
+                  let rom =
+                    match interface_tol with
+                    | None -> rom
+                    | Some itol ->
+                        fst
+                          (Hier_reduce.compress_interface ~workers:t.job_workers ~tol:itol pt
+                             rom pts)
                   in
                   let sigma =
                     Array.concat

@@ -113,7 +113,9 @@ val reduce :
   band:float * float ->
   ?tol:float ->
   ?order:int ->
-  ?partition:int ->
+  ?partition:Protocol.partition_spec ->
+  ?max_part_states:int ->
+  ?interface_tol:float ->
   ?export:bool ->
   samples:int ->
   unit ->
@@ -126,9 +128,16 @@ val reduce :
     truncation through the network tier's shared multi-shift handle (no
     samples tier — the ADI columns are method-specific); a band with
     [lo > 0] switches the Gramian solver to the band-limited residual
-    criterion.  [meth = Hier] partitions into [partition] subdomains
-    (default 4; ignored by other methods) and runs the domain-decomposed
-    pipeline through the per-subdomain sample tiers; its tier is
-    [Samples_hit] when every sampled subdomain was warm.  [export]
-    synthesizes the ROM back into a canonical netlist
+    criterion.  [meth = Hier] dissects per [partition] ([Parts k], default
+    [Parts 4], or [Auto] recursing to [max_part_states] states per part,
+    default 20000; ignored by other methods) and runs the
+    domain-decomposed pipeline through the per-subdomain sample tiers;
+    its tier is [Samples_hit] when every sampled subdomain was warm.
+    The partition tier is keyed by the dissection mode, and the
+    per-subdomain sample tiers by each leaf's canonical sub-netlist hash
+    — re-partitioning that leaves a subtree's leaves unchanged re-finds
+    their columns warm.  [interface_tol] compresses the assembled
+    interface block through the second-pass PMTBR (the partition and
+    sample tiers are shared across tolerances; only the ROM key carries
+    it).  [export] synthesizes the ROM back into a canonical netlist
     ({!outcome.netlist}) — an error if the ROM is not RC-realizable. *)

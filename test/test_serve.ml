@@ -112,6 +112,8 @@ let test_request_roundtrip () =
       order = Some 12;
       samples = 17;
       partition = None;
+      max_part_states = None;
+      interface_tol = None;
       export = false;
       netlist = "R1 1 0 1k\nC1 1 0 1p\n.port 1\n.end\n";
     }
@@ -154,7 +156,9 @@ let test_partition_roundtrip_and_validation () =
       tol = None;
       order = Some 8;
       samples = 10;
-      partition = Some 3;
+      partition = Some (Protocol.Parts 3);
+      max_part_states = None;
+      interface_tol = None;
       export = false;
       netlist = "R1 1 0 1k\nC1 1 0 1p\n.port 1\n.end\n";
     }
@@ -162,7 +166,8 @@ let test_partition_roundtrip_and_validation () =
   (match Protocol.parse_request (Protocol.encode_request (Protocol.Reduce job)) with
   | Ok (Protocol.Reduce j) ->
       Alcotest.(check bool) "hier meth" true (j.Protocol.meth = Protocol.Hier);
-      Alcotest.(check (option int)) "partition" (Some 3) j.Protocol.partition
+      Alcotest.(check (option int)) "partition" (Some 3)
+        (match j.Protocol.partition with Some (Protocol.Parts k) -> Some k | _ -> None)
   | Ok _ -> Alcotest.fail "wrong request kind"
   | Error e -> Alcotest.fail ("hier roundtrip: " ^ e));
   (* hier without an explicit partition count is valid (store default) *)
@@ -170,7 +175,7 @@ let test_partition_roundtrip_and_validation () =
      Protocol.parse_request (Protocol.encode_request (Protocol.Reduce { job with partition = None }))
    with
   | Ok (Protocol.Reduce j) ->
-      Alcotest.(check (option int)) "default partition" None j.Protocol.partition
+      Alcotest.(check bool) "default partition" true (j.Protocol.partition = None)
   | Ok _ -> Alcotest.fail "wrong request kind"
   | Error e -> Alcotest.fail ("hier default roundtrip: " ^ e));
   let reject payload what =
@@ -185,6 +190,52 @@ let test_partition_roundtrip_and_validation () =
     "non-integer partition";
   reject "job reduce\nmethod pmtbr\nband 1:2\npartition 2\n\nR1 1 0 1\n.port 1\n"
     "partition on a flat method"
+
+(* the nested-dissection job fields: partition auto, max-part-states and
+   interface-tol survive the wire, and every invalid combination is
+   rejected at parse time *)
+let test_auto_fields_roundtrip_and_validation () =
+  let job =
+    {
+      Protocol.meth = Protocol.Hier;
+      band = (0.0, 2e10);
+      tol = None;
+      order = Some 8;
+      samples = 10;
+      partition = Some Protocol.Auto;
+      max_part_states = Some 500;
+      interface_tol = Some 1e-8;
+      export = false;
+      netlist = "R1 1 0 1k\nC1 1 0 1p\n.port 1\n.end\n";
+    }
+  in
+  (match Protocol.parse_request (Protocol.encode_request (Protocol.Reduce job)) with
+  | Ok (Protocol.Reduce j) ->
+      Alcotest.(check bool) "partition auto" true (j.Protocol.partition = Some Protocol.Auto);
+      Alcotest.(check (option int)) "max-part-states" (Some 500) j.Protocol.max_part_states;
+      Alcotest.(check (option (float 0.0))) "interface-tol" (Some 1e-8) j.Protocol.interface_tol
+  | Ok _ -> Alcotest.fail "wrong request kind"
+  | Error e -> Alcotest.fail ("auto roundtrip: " ^ e));
+  let reject payload what =
+    match Protocol.parse_request payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ " must be rejected")
+  in
+  reject "job reduce\nmethod hier\nband 1:2\npartition auto\nmax-part-states 0\n\nR1 1 0 1\n.port 1\n"
+    "zero max-part-states";
+  reject
+    "job reduce\nmethod hier\nband 1:2\npartition 3\nmax-part-states 100\n\nR1 1 0 1\n.port 1\n"
+    "max-part-states with a fixed partition";
+  reject "job reduce\nmethod hier\nband 1:2\nmax-part-states 100\n\nR1 1 0 1\n.port 1\n"
+    "max-part-states without partition auto";
+  reject "job reduce\nmethod hier\nband 1:2\ninterface-tol 0\n\nR1 1 0 1\n.port 1\n"
+    "zero interface-tol";
+  reject "job reduce\nmethod hier\nband 1:2\ninterface-tol -1e-8\n\nR1 1 0 1\n.port 1\n"
+    "negative interface-tol";
+  reject "job reduce\nmethod hier\nband 1:2\ninterface-tol nan\n\nR1 1 0 1\n.port 1\n"
+    "non-finite interface-tol";
+  reject "job reduce\nmethod pmtbr\nband 1:2\ninterface-tol 1e-8\n\nR1 1 0 1\n.port 1\n"
+    "interface-tol on a flat method"
 
 let test_request_validation () =
   let reject payload what =
@@ -284,9 +335,11 @@ let must = function Ok v -> v | Error e -> Alcotest.fail e
 let job_defaults = (Protocol.Pmtbr, (0.0, 2e10), 10)
 
 let run_job ?(meth = Protocol.Pmtbr) ?(band = (0.0, 2e10)) ?tol ?(order = 8) ?(samples = 10)
-    ?partition ?(export = false) store netlist =
+    ?partition ?max_part_states ?interface_tol ?(export = false) store netlist =
   let _ = job_defaults in
-  must (Store.reduce store ~netlist ~meth ~band ?tol ~order ?partition ~export ~samples ())
+  must
+    (Store.reduce store ~netlist ~meth ~band ?tol ~order ?partition ?max_part_states
+       ?interface_tol ~export ~samples ())
 
 let test_hash_stability () =
   let text = mesh_netlist () in
@@ -379,16 +432,16 @@ let test_tbr_passive_tiers_and_export () =
 let test_hier_tiers_and_stats () =
   let store = Store.create () in
   let netlist = mesh_netlist ~n:8 () in
-  let o1 = run_job ~meth:Protocol.Hier ~partition:2 store netlist in
+  let o1 = run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 2) store netlist in
   Alcotest.(check string) "first hier job misses" "miss" (Store.tier_name o1.Store.tier);
   Alcotest.(check bool) "cold hier job solves" true (o1.Store.job_solves > 0);
-  let o2 = run_job ~meth:Protocol.Hier ~partition:2 store netlist in
+  let o2 = run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 2) store netlist in
   Alcotest.(check string) "verbatim repeat" "rom-hit" (Store.tier_name o2.Store.tier);
   Alcotest.(check int) "repeat does no solves" 0 o2.Store.job_solves;
   Alcotest.(check string) "repeat digest" o1.Store.digest o2.Store.digest;
   (* same samples, new order: every subdomain sample tier is warm, so the
      recombination re-finishes without a single solve *)
-  let o3 = run_job ~meth:Protocol.Hier ~partition:2 ~order:4 store netlist in
+  let o3 = run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 2) ~order:4 store netlist in
   Alcotest.(check string) "re-order reuses subdomain samples" "samples-hit"
     (Store.tier_name o3.Store.tier);
   Alcotest.(check int) "re-finish solves nothing" 0 o3.Store.job_solves;
@@ -401,21 +454,99 @@ let test_hier_tiers_and_stats () =
   Alcotest.(check bool) "cold job recorded sub misses" true (sum hn.Store.sub_misses > 0);
   Alcotest.(check bool) "warm job recorded sub hits" true (sum hn.Store.sub_hits > 0);
   (* a different part count on the same network resets the slot tracker *)
-  let o4 = run_job ~meth:Protocol.Hier ~partition:3 store netlist in
+  let o4 = run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 3) store netlist in
   Alcotest.(check string) "re-partition falls back to the warm network" "network-hit"
     (Store.tier_name o4.Store.tier);
   let _, hn3 = List.hd (Store.hier_stats store) in
   Alcotest.(check int) "tracker reset to the new count" 3 hn3.Store.partitions;
   Alcotest.(check int) "slot arrays follow" 3 (Array.length hn3.Store.sub_misses)
 
+(* Tree-shaped (auto) dissection through the store: cold miss, verbatim
+   rom-hit, re-tol re-finish from every leaf's warm sample tier with zero
+   solves, and a re-partition under a different goal descriptor that
+   produces the same leaves re-finds all of them warm. *)
+let test_hier_auto_tree_tiers () =
+  let store = Store.create () in
+  let netlist = mesh_netlist ~n:8 () in
+  let o1 =
+    run_job ~meth:Protocol.Hier ~partition:Protocol.Auto ~max_part_states:20 store netlist
+  in
+  Alcotest.(check string) "cold auto job misses" "miss" (Store.tier_name o1.Store.tier);
+  Alcotest.(check bool) "cold job solves" true (o1.Store.job_solves > 0);
+  let o2 =
+    run_job ~meth:Protocol.Hier ~partition:Protocol.Auto ~max_part_states:20 store netlist
+  in
+  Alcotest.(check string) "verbatim repeat" "rom-hit" (Store.tier_name o2.Store.tier);
+  Alcotest.(check int) "repeat does no solves" 0 o2.Store.job_solves;
+  (* re-tol: every leaf's sample tier is warm, the whole tree re-finishes
+     without a single solve *)
+  let o3 =
+    run_job ~meth:Protocol.Hier ~partition:Protocol.Auto ~max_part_states:20 ~tol:1e-6 ~order:6
+      store netlist
+  in
+  Alcotest.(check string) "re-tol reuses the tree's samples" "samples-hit"
+    (Store.tier_name o3.Store.tier);
+  Alcotest.(check int) "re-tol re-finish solves nothing" 0 o3.Store.job_solves;
+  (* a leaf-count goal that dissects to the same leaves (budget 20 on this
+     mesh yields the 4-leaf depth-2 tree) re-finds every sample tier warm
+     under the new partition descriptor *)
+  let o4 = run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 4) store netlist in
+  Alcotest.(check string) "equivalent re-partition is samples-warm" "samples-hit"
+    (Store.tier_name o4.Store.tier);
+  Alcotest.(check int) "re-partition solves nothing" 0 o4.Store.job_solves;
+  Alcotest.(check string) "same leaves, same rom" o1.Store.digest o4.Store.digest;
+  (* interface compression only perturbs the ROM key: samples stay warm *)
+  let o5 =
+    run_job ~meth:Protocol.Hier ~partition:Protocol.Auto ~max_part_states:20
+      ~interface_tol:1e-8 store netlist
+  in
+  Alcotest.(check string) "compressed job is samples-warm" "samples-hit"
+    (Store.tier_name o5.Store.tier);
+  Alcotest.(check int) "compressed job solves nothing" 0 o5.Store.job_solves;
+  Alcotest.(check bool) "compression never grows the order" true
+    (o5.Store.order <= o1.Store.order)
+
+(* Re-partitioning only a changed subtree: a second network differing
+   from the first inside one leaf's interior re-finds every other leaf's
+   sample columns warm — only the changed subdomain re-solves. *)
+let test_hier_changed_subtree_warm () =
+  let text = mesh_netlist ~n:8 () in
+  (* perturb one grounded capacitor whose node is interior to one leaf
+     (node 2 on this mesh): the other leaves' sub-netlists and sampling
+     right-hand sides are untouched *)
+  let tweaked =
+    String.concat "\n"
+      (List.map
+         (fun l -> if String.length l > 3 && String.sub l 0 3 = "C2 " then l ^ "5" else l)
+         (String.split_on_char '\n' text))
+  in
+  let store = Store.create () in
+  let o1 = run_job ~meth:Protocol.Hier ~partition:Protocol.Auto ~max_part_states:20 store text in
+  let o2 =
+    run_job ~meth:Protocol.Hier ~partition:Protocol.Auto ~max_part_states:20 store tweaked
+  in
+  Alcotest.(check bool) "really a different network" false (o1.Store.hash = o2.Store.hash);
+  Alcotest.(check string) "new network misses" "miss" (Store.tier_name o2.Store.tier);
+  Alcotest.(check bool) "only the changed subtree re-solves" true
+    (o2.Store.job_solves > 0 && o2.Store.job_solves < o1.Store.job_solves);
+  let hn =
+    match List.assoc_opt o2.Store.hash (Store.hier_stats store) with
+    | Some hn -> hn
+    | None -> Alcotest.fail "no hier tracker for the tweaked network"
+  in
+  let sum = Array.fold_left ( + ) 0 in
+  Alcotest.(check int) "exactly one leaf missed" 1 (sum hn.Store.sub_misses);
+  Alcotest.(check int) "every other leaf was warm" (hn.Store.partitions - 1)
+    (sum hn.Store.sub_hits)
+
 (* Warm hier paths are bitwise: re-finishing from cached subdomain
    samples reproduces the cold digest exactly. *)
 let test_hier_warm_equals_cold () =
   let netlist = mesh_netlist ~n:8 () in
-  let cold = run_job ~meth:Protocol.Hier ~partition:2 (Store.create ()) netlist in
+  let cold = run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 2) (Store.create ()) netlist in
   let s = Store.create () in
-  ignore (run_job ~meth:Protocol.Hier ~partition:2 ~order:3 s netlist);
-  let warm = run_job ~meth:Protocol.Hier ~partition:2 s netlist in
+  ignore (run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 2) ~order:3 s netlist);
+  let warm = run_job ~meth:Protocol.Hier ~partition:(Protocol.Parts 2) s netlist in
   Alcotest.(check string) "samples-warm tier" "samples-hit" (Store.tier_name warm.Store.tier);
   Alcotest.(check string) "samples-warm digest" cold.Store.digest warm.Store.digest
 
@@ -543,6 +674,8 @@ let test_concurrent_jobs_deterministic () =
                                order = Some 8;
                                samples = 10;
                                partition = None;
+                               max_part_states = None;
+                               interface_tol = None;
                                export = false;
                                netlist = nl;
                              })
@@ -579,6 +712,8 @@ let test_daemon_export_job () =
                    order = Some 6;
                    samples = 10;
                    partition = None;
+                   max_part_states = None;
+                   interface_tol = None;
                    export = true;
                    netlist = mesh_netlist ~n:5 ();
                  })
@@ -608,19 +743,41 @@ let test_daemon_hier_stats_field () =
                    tol = None;
                    order = Some 6;
                    samples = 8;
-                   partition = Some 2;
+                   partition = Some (Protocol.Parts 2);
+                   max_part_states = None;
+                   interface_tol = None;
                    export = false;
                    netlist = mesh_netlist ~n:6 ();
                  })
           in
           let hash = field r "hash" in
           let s = roundtrip c Protocol.Stats in
-          match Protocol.field s ("hier_" ^ hash) with
+          (match Protocol.field s ("hier_" ^ hash) with
           | Some v ->
               let prefix = "partitions=2" in
               Alcotest.(check string) "partition count leads the stats field" prefix
                 (String.sub v 0 (min (String.length v) (String.length prefix)))
-          | None -> Alcotest.fail "stats response missing the hier_ field"))
+          | None -> Alcotest.fail "stats response missing the hier_ field");
+          (* the auto-dissection fields over the wire: partition auto +
+             max-part-states + interface-tol, end to end *)
+          let r2 =
+            roundtrip c
+              (Protocol.Reduce
+                 {
+                   Protocol.meth = Protocol.Hier;
+                   band = (0.0, 2e10);
+                   tol = None;
+                   order = Some 6;
+                   samples = 8;
+                   partition = Some Protocol.Auto;
+                   max_part_states = Some 20;
+                   interface_tol = Some 1e-8;
+                   export = false;
+                   netlist = mesh_netlist ~n:6 ();
+                 })
+          in
+          Alcotest.(check bool) "auto job reduces" true
+            (int_of_string (field r2 "order") < int_of_string (field r2 "states"))))
 
 let test_daemon_protocol_errors () =
   let socket = Printf.sprintf ".pmtbr_test_err.%d.sock" (Unix.getpid ()) in
@@ -661,7 +818,8 @@ let test_daemon_protocol_errors () =
           let fdc = c in
           match Client.request fdc (Protocol.Reduce {
             Protocol.meth = Protocol.Pmtbr; band = (0.0, 1e9); tol = None; order = None;
-            samples = 5; partition = None; export = false; netlist = "R1 1 0 banana\n.port 1\n" })
+            samples = 5; partition = None; max_part_states = None; interface_tol = None;
+            export = false; netlist = "R1 1 0 banana\n.port 1\n" })
           with
           | Ok r -> (
               (match r.Protocol.status with
@@ -688,6 +846,8 @@ let () =
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "partition roundtrip and validation" `Quick
             test_partition_roundtrip_and_validation;
+          Alcotest.test_case "auto fields roundtrip and validation" `Quick
+            test_auto_fields_roundtrip_and_validation;
           Alcotest.test_case "request validation" `Quick test_request_validation;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
         ] );
@@ -707,6 +867,9 @@ let () =
           Alcotest.test_case "tbr-passive tiers and export" `Quick
             test_tbr_passive_tiers_and_export;
           Alcotest.test_case "hier tiers and stats" `Quick test_hier_tiers_and_stats;
+          Alcotest.test_case "hier auto tree tiers" `Quick test_hier_auto_tree_tiers;
+          Alcotest.test_case "hier changed subtree stays warm" `Quick
+            test_hier_changed_subtree_warm;
           Alcotest.test_case "hier warm equals cold (bitwise)" `Quick test_hier_warm_equals_cold;
           Alcotest.test_case "warm equals cold (bitwise)" `Quick test_warm_equals_cold;
           Alcotest.test_case "eviction forces recompute" `Quick test_eviction_forces_recompute;
